@@ -1,0 +1,45 @@
+"""Figure 5(a): reasoning times for the eight iWarded scenarios (synthA..synthH).
+
+Paper expectation (shape): synthB and synthH are the fastest (joins through
+wards dominate), synthE and synthF the slowest (heavy recursion), synthC is
+the baseline mix and synthG behaves like a plain Datalog program.
+"""
+
+import pytest
+
+from repro.bench.harness import run_scenario
+from repro.bench.reporting import format_table, rows_as_dicts
+from repro.workloads.iwarded import SCENARIO_CONFIGS, iwarded_scenario
+
+FACTS_PER_PREDICATE = 8
+
+_rows = []
+
+
+@pytest.mark.figure("5a")
+@pytest.mark.parametrize("name", list(SCENARIO_CONFIGS))
+def test_iwarded_scenario(name, once):
+    scenario = iwarded_scenario(name, facts_per_predicate=FACTS_PER_PREDICATE)
+    row = once(run_scenario, scenario, "vadalog")
+    _rows.append(row)
+    assert row.total_facts > 0
+
+
+@pytest.mark.figure("5a")
+def test_report_figure_5a(once):
+    once(lambda: None)
+    print()
+    print(
+        format_table(
+            rows_as_dicts(_rows),
+            columns=[
+                "scenario",
+                "elapsed_seconds",
+                "total_facts",
+                "chase_steps",
+                "isomorphism_checks",
+            ],
+            title="Figure 5(a) — iWarded scenarios, Vadalog engine",
+        )
+    )
+    assert len(_rows) == len(SCENARIO_CONFIGS)

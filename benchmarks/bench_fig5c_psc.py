@@ -1,0 +1,53 @@
+"""Figure 5(c): DBpedia PSC and AllPSC — scaling over persons, vs RDBMS and graph baselines.
+
+Paper expectation (shape): near-linear growth for PSC and AllPSC with the two
+curves almost coinciding (monotonic aggregation adds no overhead); the
+recursive-SQL baseline is several times slower; the specialised graph-BFS
+engine is fast on this pure reachability task.
+"""
+
+import pytest
+
+from repro.bench.harness import run_scenario
+from repro.bench.reporting import format_series, format_table, rows_as_dicts
+from repro.workloads.dbpedia import allpsc_scenario, psc_scenario
+
+PERSON_SWEEP = (50, 100, 200)
+COMPANIES = 120
+
+_rows = []
+
+
+@pytest.mark.figure("5c")
+@pytest.mark.parametrize("persons", PERSON_SWEEP)
+@pytest.mark.parametrize("engine", ["vadalog", "recursive-sql", "graph-bfs"])
+def test_psc(persons, engine, once):
+    scenario = psc_scenario(n_companies=COMPANIES, n_persons=persons)
+    row = once(run_scenario, scenario, engine)
+    _rows.append(row)
+    assert row.output_facts > 0
+
+
+@pytest.mark.figure("5c")
+@pytest.mark.parametrize("persons", PERSON_SWEEP)
+def test_allpsc(persons, once):
+    scenario = allpsc_scenario(n_companies=COMPANIES, n_persons=persons)
+    row = once(run_scenario, scenario, "vadalog")
+    row.extra["task"] = "AllPSC"
+    _rows.append(row)
+    assert row.output_facts > 0
+
+
+@pytest.mark.figure("5c")
+def test_report_figure_5c(once):
+    once(lambda: None)
+    print()
+    print(
+        format_table(
+            rows_as_dicts(_rows),
+            columns=["scenario", "engine", "persons", "elapsed_seconds", "output_facts"],
+            title="Figure 5(c) — PSC / AllPSC scaling over persons",
+        )
+    )
+    print(format_series([r for r in _rows if r.scenario == "dbpedia-psc"], x_key="persons", title="PSC series"))
+    assert _rows

@@ -1,0 +1,52 @@
+"""Figure 5(d): SpecStrongLinks and AllStrongLinks over a growing number of companies.
+
+Paper expectation (shape): AllStrongLinks grows steeply with the number of
+companies (the output itself is quadratic-ish), while SpecStrongLinks —
+restricted to one company — stays nearly flat.
+"""
+
+import pytest
+
+from repro.bench.harness import run_scenario
+from repro.bench.reporting import format_table, rows_as_dicts
+from repro.workloads.dbpedia import strong_links_scenario
+
+COMPANY_SWEEP = (20, 40, 60)
+
+_rows = []
+
+
+@pytest.mark.figure("5d")
+@pytest.mark.parametrize("companies", COMPANY_SWEEP)
+def test_all_strong_links(companies, once):
+    scenario = strong_links_scenario(n_companies=companies, n_persons=40, threshold=3)
+    row = once(run_scenario, scenario, "vadalog")
+    row.extra["task"] = "AllStrongLinks"
+    _rows.append(row)
+    assert row.total_facts > 0
+
+
+@pytest.mark.figure("5d")
+@pytest.mark.parametrize("companies", COMPANY_SWEEP)
+def test_spec_strong_links(companies, once):
+    scenario = strong_links_scenario(
+        n_companies=companies, n_persons=40, threshold=1, specific_company="company1"
+    )
+    row = once(run_scenario, scenario, "vadalog")
+    row.extra["task"] = "SpecStrongLinks"
+    _rows.append(row)
+    assert row.total_facts > 0
+
+
+@pytest.mark.figure("5d")
+def test_report_figure_5d(once):
+    once(lambda: None)
+    print()
+    print(
+        format_table(
+            rows_as_dicts(_rows),
+            columns=["task", "companies", "elapsed_seconds", "output_facts"],
+            title="Figure 5(d) — strong links between companies",
+        )
+    )
+    assert len(_rows) == 2 * len(COMPANY_SWEEP)

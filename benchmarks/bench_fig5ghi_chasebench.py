@@ -1,0 +1,64 @@
+"""Figure 5(g,h,i): ChaseBench scenarios Doctors, DoctorsFD and LUBM.
+
+These rule sets are "warded by chance" (no null propagation to exploit), so
+the experiment checks that the engine remains competitive as a general
+chase / query-answering tool.  Paper expectation (shape): comparable times
+across engines, with the Skolem/grounding baseline closest on plain Datalog
+(LUBM) and the restricted-chase baseline paying its homomorphism checks as
+the source instance grows.
+"""
+
+import pytest
+
+from repro.bench.harness import run_scenario
+from repro.bench.reporting import format_table, rows_as_dicts
+from repro.workloads.chasebench import doctors_fd_scenario, doctors_scenario, lubm_scenario
+
+SIZE_SWEEP = (100, 200, 400)
+ENGINES = ("vadalog", "restricted-chase", "skolem-chase")
+
+_rows = []
+
+
+@pytest.mark.figure("5g")
+@pytest.mark.parametrize("size", SIZE_SWEEP)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_doctors(size, engine, once):
+    row = once(run_scenario, doctors_scenario(size), engine)
+    row.extra["task"] = "Doctors"
+    _rows.append(row)
+    assert row.output_facts > 0
+
+
+@pytest.mark.figure("5h")
+@pytest.mark.parametrize("size", SIZE_SWEEP)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_doctors_fd(size, engine, once):
+    row = once(run_scenario, doctors_fd_scenario(size), engine)
+    row.extra["task"] = "DoctorsFD"
+    _rows.append(row)
+    assert row.output_facts > 0
+
+
+@pytest.mark.figure("5i")
+@pytest.mark.parametrize("size", SIZE_SWEEP)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_lubm(size, engine, once):
+    row = once(run_scenario, lubm_scenario(size), engine)
+    row.extra["task"] = "LUBM"
+    _rows.append(row)
+    assert row.output_facts > 0
+
+
+@pytest.mark.figure("5ghi")
+def test_report_figure_5ghi(once):
+    once(lambda: None)
+    print()
+    print(
+        format_table(
+            rows_as_dicts(_rows),
+            columns=["task", "source_facts", "engine", "elapsed_seconds", "output_facts"],
+            title="Figure 5(g,h,i) — ChaseBench scenarios across engines",
+        )
+    )
+    assert len(_rows) == 3 * len(SIZE_SWEEP) * len(ENGINES)

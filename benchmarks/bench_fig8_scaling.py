@@ -1,0 +1,77 @@
+"""Figure 8: scalability along database size, number of rules, rule width and arity.
+
+Paper expectation (shape): (a) polynomial, close-to-linear growth in the
+source size; (b) linear growth in the number of independent rule blocks;
+(c) moderate growth when join rules get wider; (d) nearly flat behaviour
+when the predicate arity grows.
+"""
+
+import pytest
+
+from repro.bench.harness import run_scenario
+from repro.bench.reporting import format_table, rows_as_dicts
+from repro.workloads.scaling import (
+    arity_scenario,
+    atom_count_scenario,
+    dbsize_scenario,
+    rule_count_scenario,
+)
+
+_rows = {"dbsize": [], "rules": [], "atoms": [], "arity": []}
+
+
+@pytest.mark.figure("8a")
+@pytest.mark.parametrize("facts", (5, 10, 20))
+def test_dbsize(facts, once):
+    row = once(run_scenario, dbsize_scenario(facts), "vadalog")
+    row.extra["x"] = facts
+    _rows["dbsize"].append(row)
+    assert row.total_facts > 0
+
+
+@pytest.mark.figure("8b")
+@pytest.mark.parametrize("blocks", (1, 2, 3))
+def test_rule_count(blocks, once):
+    row = once(run_scenario, rule_count_scenario(blocks, facts_per_predicate=5), "vadalog")
+    row.extra["x"] = blocks * 100
+    _rows["rules"].append(row)
+    assert row.total_facts > 0
+
+
+@pytest.mark.figure("8c")
+@pytest.mark.parametrize("atoms", (2, 4, 8))
+def test_atom_count(atoms, once):
+    row = once(run_scenario, atom_count_scenario(atoms, facts_per_predicate=5), "vadalog")
+    row.extra["x"] = atoms
+    _rows["atoms"].append(row)
+    assert row.total_facts > 0
+
+
+@pytest.mark.figure("8d")
+@pytest.mark.parametrize("arity", (3, 6, 12))
+def test_arity(arity, once):
+    row = once(run_scenario, arity_scenario(arity, facts_per_predicate=5), "vadalog")
+    row.extra["x"] = arity
+    _rows["arity"].append(row)
+    assert row.total_facts > 0
+
+
+@pytest.mark.figure("8")
+def test_report_figure_8(once):
+    once(lambda: None)
+    print()
+    for key, title in (
+        ("dbsize", "Figure 8(a) — database size"),
+        ("rules", "Figure 8(b) — number of rules"),
+        ("atoms", "Figure 8(c) — body atoms per join rule"),
+        ("arity", "Figure 8(d) — predicate arity"),
+    ):
+        print(
+            format_table(
+                rows_as_dicts(_rows[key]),
+                columns=["scenario", "x", "elapsed_seconds", "total_facts", "output_facts"],
+                title=title,
+            )
+        )
+        print()
+    assert all(_rows[key] for key in _rows)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6) at laptop scale: the sweeps cover the same relative sizes as the
+paper but with smaller absolute instances (documented in EXPERIMENTS.md).
+Each test prints the rows/series it measured, so running
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the evaluation tables in textual form.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): paper figure the benchmark reproduces")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (scenarios are not micro-benchmarks)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,50 @@
+"""Company control over an ownership graph (Example 2 of the paper).
+
+The program uses recursion plus monotonic aggregation (``msum``) to decide
+which companies control which others: ``x`` controls ``y`` when it directly
+owns more than half of ``y``, or when the companies it controls jointly own
+more than half of ``y``.
+
+The example generates a scale-free ownership graph with the parameters the
+paper learned from the European company graph (α=0.71, β=0.09, γ=0.2) and
+answers the three kinds of questions listed in the paper: all control pairs,
+the companies controlled by a given company, and a point query.
+
+Run with:  python examples/company_control.py
+"""
+
+from repro import VadalogReasoner
+from repro.workloads.companies import company_control_program, generate_ownership_graph
+
+
+def main() -> None:
+    database = generate_ownership_graph(n_companies=80)
+    print(
+        f"Ownership graph: {database.size('Company')} companies, "
+        f"{database.size('Own')} ownership edges"
+    )
+
+    reasoner = VadalogReasoner(company_control_program())
+    result = reasoner.reason(database=database)
+    control = sorted(result.ground_tuples("Control"))
+
+    print(f"\n1. All control relationships ({len(control)} pairs):")
+    for owner, owned in control[:15]:
+        print(f"    {owner} controls {owned}")
+    if len(control) > 15:
+        print(f"    ... and {len(control) - 15} more")
+
+    # 2. Which companies are controlled by f0?  Which companies control f2?
+    controlled_by_f0 = sorted(y for x, y in control if x == "f0")
+    controlling_f2 = sorted(x for x, y in control if y == "f2")
+    print(f"\n2. Companies controlled by f0: {controlled_by_f0 or 'none'}")
+    print(f"   Companies controlling f2:  {controlling_f2 or 'none'}")
+
+    # 3. Does f0 control f1?
+    print(f"\n3. Does f0 control f1?  {('f0', 'f1') in set(control)}")
+
+    print("\nReasoning took %.3f s" % result.timings["total"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Persons of significant control and strong links (Examples 11-13 of the paper).
+
+This example runs two reasoning tasks on a synthetic DBpedia-style company
+graph:
+
+* **PSC** — compute every person with significant control over every company
+  (transitive propagation of key persons along the control relationship), and
+  cross-check the answer against the specialised graph-traversal baseline;
+* **Strong links** — find pairs of companies sharing at least one person of
+  significant control, using existential quantification (every company has at
+  least one PSC, possibly anonymous) and the ``mcount`` monotonic aggregation.
+
+Run with:  python examples/psc_strong_links.py
+"""
+
+from repro import VadalogReasoner
+from repro.baselines import GraphTraversalEngine
+from repro.workloads.dbpedia import generate_company_graph, psc_scenario, strong_links_scenario
+
+
+def run_psc() -> None:
+    scenario = psc_scenario(n_companies=120, n_persons=80)
+    reasoner = VadalogReasoner(scenario.program)
+    result = reasoner.reason(database=scenario.database, outputs=["PSC"])
+    psc = result.ground_tuples("PSC")
+    print(f"PSC: {len(psc)} (company, person) pairs derived by the reasoner")
+
+    control = [tuple(r) for r in scenario.database.relation("Control").tuples]
+    key_people = [tuple(r) for r in scenario.database.relation("KeyPerson").tuples]
+    traversal = GraphTraversalEngine(control).propagate_labels(key_people)
+    print(f"PSC: {len(traversal.pairs())} pairs derived by the graph-BFS baseline")
+    print(f"Both engines agree: {traversal.pairs() == psc}")
+
+
+def run_strong_links() -> None:
+    scenario = strong_links_scenario(n_companies=60, n_persons=40, threshold=2)
+    reasoner = VadalogReasoner(scenario.program)
+    result = reasoner.reason(database=scenario.database, outputs=["StrongLink"])
+    links = sorted(result.ground_tuples("StrongLink"), key=lambda row: -row[2])
+    print(f"\nStrong links (sharing at least 2 persons of significant control): {len(links)}")
+    for company_a, company_b, shared in links[:10]:
+        print(f"    {company_a} <-> {company_b}  ({shared} shared PSC)")
+    for warning in result.warnings:
+        print(f"    note: {warning}")
+
+
+def main() -> None:
+    run_psc()
+    run_strong_links()
+
+
+if __name__ == "__main__":
+    main()

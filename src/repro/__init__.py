@@ -1,0 +1,85 @@
+"""repro — a reproduction of "The Vadalog System" (VLDB 2018).
+
+An open-source Warded Datalog± reasoner for knowledge graphs: existential
+rules with termination guarantees (Algorithm 1 of the paper), harmful-join
+elimination, monotonic aggregation, a pipeline-style execution layer,
+baseline engines and the full benchmark suite of the paper's evaluation.
+
+Quick start::
+
+    from repro import VadalogReasoner
+
+    reasoner = VadalogReasoner('''
+        @output("Control").
+        Control(X, Y) :- Own(X, Y, W), W > 0.5.
+        Control(X, Z) :- Control(X, Y), Own(Y, Z, W), V = msum(W, <Y>), V > 0.5.
+    ''')
+    result = reasoner.reason(database={"Own": [("a", "b", 0.6), ("b", "c", 0.6)]})
+    print(result.ground_tuples("Control"))
+"""
+
+from .core import (
+    AnswerSet,
+    Atom,
+    ChaseConfig,
+    ChaseEngine,
+    ChaseResult,
+    Constant,
+    Fact,
+    InconsistencyError,
+    Null,
+    Program,
+    Query,
+    Rule,
+    TrivialIsomorphismStrategy,
+    Variable,
+    WardedTerminationStrategy,
+    analyse_program,
+    atom,
+    certain_answer,
+    fact,
+    is_harmless_warded,
+    is_warded,
+    parse_program,
+    parse_rule,
+    run_chase,
+    universal_answer,
+)
+from .engine import ReasoningResult, VadalogReasoner, reason
+from .storage import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerSet",
+    "Atom",
+    "ChaseConfig",
+    "ChaseEngine",
+    "ChaseResult",
+    "Constant",
+    "Fact",
+    "InconsistencyError",
+    "Null",
+    "Program",
+    "Query",
+    "Rule",
+    "TrivialIsomorphismStrategy",
+    "Variable",
+    "WardedTerminationStrategy",
+    "analyse_program",
+    "atom",
+    "certain_answer",
+    "fact",
+    "is_harmless_warded",
+    "is_warded",
+    "parse_program",
+    "parse_rule",
+    "run_chase",
+    "universal_answer",
+    "ReasoningResult",
+    "VadalogReasoner",
+    "reason",
+    "Database",
+    "Relation",
+    "__version__",
+]

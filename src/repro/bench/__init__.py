@@ -1,0 +1,13 @@
+"""Benchmark harness: scenario runners and table/series reporting."""
+
+from .harness import BenchmarkRow, run_scenario, run_sweep, ENGINES
+from .reporting import format_table, format_series
+
+__all__ = [
+    "BenchmarkRow",
+    "run_scenario",
+    "run_sweep",
+    "ENGINES",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,62 @@
+"""Plain-text tables and series for the benchmark output.
+
+Every benchmark prints the rows/series the corresponding paper figure
+reports, using these helpers, so running ``pytest benchmarks/
+--benchmark-only`` regenerates the evaluation tables in textual form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .harness import BenchmarkRow
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = [dict(r) for r in rows]
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    rows: Sequence[BenchmarkRow],
+    x_key: str,
+    title: str = "",
+    value_key: str = "elapsed_seconds",
+) -> str:
+    """Render benchmark rows as one series per engine (the figure line plots)."""
+    series: Dict[str, List[str]] = {}
+    for row in rows:
+        data = row.as_dict()
+        x_value = data.get(x_key, "?")
+        series.setdefault(row.engine, []).append(f"{x_value}:{data.get(value_key)}")
+    lines = [title] if title else []
+    for engine, points in series.items():
+        lines.append(f"  {engine:<18} " + "  ".join(points))
+    return "\n".join(lines)
+
+
+def rows_as_dicts(rows: Iterable[BenchmarkRow]) -> List[Dict[str, object]]:
+    return [row.as_dict() for row in rows]

@@ -1,0 +1,94 @@
+"""Core of the reproduction: the Vadalog language and the warded chase.
+
+The sub-modules follow the structure of the paper:
+
+* language model — :mod:`terms`, :mod:`atoms`, :mod:`rules`,
+  :mod:`conditions`, :mod:`expressions`, :mod:`parser`;
+* wardedness and rewritings — :mod:`wardedness`, :mod:`transform`,
+  :mod:`harmful_joins`, :mod:`skolem`;
+* chase and termination — :mod:`chase`, :mod:`termination`, :mod:`forests`,
+  :mod:`provenance`, :mod:`isomorphism`, :mod:`fact_store`;
+* features — :mod:`aggregates`, :mod:`query`.
+"""
+
+from .atoms import Atom, Fact, Position, Predicate, atom, fact
+from .chase import ChaseConfig, ChaseEngine, ChaseResult, InconsistencyError, run_chase
+from .conditions import AggregateSpec, Assignment, Comparison
+from .parser import parse_program, parse_rule, parse_fact, VadalogSyntaxError
+from .query import AnswerSet, Query, certain_answer, extract_answers, universal_answer
+from .rules import (
+    Annotation,
+    EqualityConstraint,
+    NegativeConstraint,
+    Program,
+    Rule,
+    make_rule,
+    program_from_rules,
+)
+from .terms import Constant, Null, NullFactory, Term, Variable
+from .termination import (
+    DepthBoundedStrategy,
+    TerminationStrategy,
+    TrivialIsomorphismStrategy,
+    UnboundedStrategy,
+    WardedTerminationStrategy,
+    strategy_by_name,
+)
+from .wardedness import (
+    ProgramAnalysis,
+    RuleKind,
+    VariableRole,
+    analyse_program,
+    is_harmless_warded,
+    is_warded,
+)
+
+__all__ = [
+    "Atom",
+    "Fact",
+    "Position",
+    "Predicate",
+    "atom",
+    "fact",
+    "ChaseConfig",
+    "ChaseEngine",
+    "ChaseResult",
+    "InconsistencyError",
+    "run_chase",
+    "AggregateSpec",
+    "Assignment",
+    "Comparison",
+    "parse_program",
+    "parse_rule",
+    "parse_fact",
+    "VadalogSyntaxError",
+    "AnswerSet",
+    "Query",
+    "certain_answer",
+    "extract_answers",
+    "universal_answer",
+    "Annotation",
+    "EqualityConstraint",
+    "NegativeConstraint",
+    "Program",
+    "Rule",
+    "make_rule",
+    "program_from_rules",
+    "Constant",
+    "Null",
+    "NullFactory",
+    "Term",
+    "Variable",
+    "DepthBoundedStrategy",
+    "TerminationStrategy",
+    "TrivialIsomorphismStrategy",
+    "UnboundedStrategy",
+    "WardedTerminationStrategy",
+    "strategy_by_name",
+    "ProgramAnalysis",
+    "RuleKind",
+    "VariableRole",
+    "analyse_program",
+    "is_harmless_warded",
+    "is_warded",
+]

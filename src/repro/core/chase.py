@@ -1,0 +1,559 @@
+"""The chase engine (Section 3.4, Algorithm 2) with pluggable termination.
+
+The engine materialises ``Σ(D)`` for a program Σ and database D by applying
+rules until no termination-strategy-admitted fact can be added.  Rules are
+applied in **round-robin** order (the breadth-first policy of Section 4's
+execution model): in every round each rule is given the chance to fire on
+the facts derived in the previous round (semi-naive evaluation), which keeps
+the fact propagation uniform across rules and makes the derivation order
+deterministic for a fixed program and database.
+
+Every derived fact is wrapped in a :class:`~repro.core.forests.ChaseNode`
+carrying the linear-forest / warded-forest metadata needed by Algorithm 1
+(:mod:`repro.core.termination`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .aggregates import AggregateRegistry
+from .atoms import Atom, Fact
+from .conditions import AggregateSpec
+from .expressions import ExpressionError
+from .fact_store import FactStore
+from .forests import ChaseNode, derived_node, input_node
+from .isomorphism import isomorphism_key
+from .rules import DOM_PREDICATE, Program, Rule
+from .terms import Constant, Null, NullFactory, Term, Variable
+from .termination import TerminationStrategy, UnboundedStrategy, WardedTerminationStrategy
+from .wardedness import ProgramAnalysis, RuleAnalysis, RuleKind, analyse_program
+
+
+class InconsistencyError(Exception):
+    """Raised when a negative constraint or EGD is violated (fail-fast mode)."""
+
+
+class ChaseLimitError(Exception):
+    """Raised when a configured safety limit (facts/iterations) is exceeded."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A violated constraint together with the facts witnessing the violation."""
+
+    kind: str
+    label: str
+    witnesses: Tuple[Fact, ...]
+    detail: str = ""
+
+    def __str__(self) -> str:
+        facts = ", ".join(repr(f) for f in self.witnesses)
+        return f"{self.kind} {self.label or ''} violated by {facts} {self.detail}".strip()
+
+
+@dataclass
+class ChaseConfig:
+    """Safety limits and behaviour switches of a chase run."""
+
+    max_rounds: Optional[int] = None
+    max_facts: Optional[int] = None
+    fail_on_violation: bool = False
+    check_constraints: bool = True
+    apply_egds: bool = True
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    store: FactStore
+    nodes: List[ChaseNode]
+    program: Program
+    strategy: TerminationStrategy
+    aggregates: AggregateRegistry
+    violations: List[Violation] = field(default_factory=list)
+    rounds: int = 0
+    chase_steps: int = 0
+    candidate_facts: int = 0
+    elapsed_seconds: float = 0.0
+
+    def facts(self, predicate: Optional[str] = None) -> Tuple[Fact, ...]:
+        """All facts of the result, optionally restricted to one predicate."""
+        if predicate is None:
+            return self.store.facts()
+        return tuple(self.store.by_predicate(predicate))
+
+    def derived_facts(self) -> Tuple[Fact, ...]:
+        """Facts produced by rules (excluding the extensional input)."""
+        return tuple(node.fact for node in self.nodes if not node.is_input)
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def stats(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "facts": len(self.store),
+            "derived_facts": len(self.derived_facts()),
+            "rounds": self.rounds,
+            "chase_steps": self.chase_steps,
+            "candidate_facts": self.candidate_facts,
+            "elapsed_seconds": self.elapsed_seconds,
+            "violations": len(self.violations),
+            "strategy": self.strategy.name,
+        }
+        data.update({f"strategy_{k}": v for k, v in self.strategy.stats.as_dict().items()})
+        return data
+
+
+class ChaseEngine:
+    """Materialisation engine guided by a termination strategy."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Iterable[Fact] = (),
+        strategy: Optional[TerminationStrategy] = None,
+        analysis: Optional[ProgramAnalysis] = None,
+        null_factory: Optional[NullFactory] = None,
+        config: Optional[ChaseConfig] = None,
+    ) -> None:
+        self.program = program
+        self.analysis = analysis or analyse_program(program)
+        self.strategy = strategy if strategy is not None else WardedTerminationStrategy()
+        self.null_factory = null_factory or NullFactory()
+        self.config = config or ChaseConfig()
+        self.aggregates = AggregateRegistry()
+        self._database_facts = list(database) + list(program.facts)
+        self._rule_analyses: Dict[int, RuleAnalysis] = {
+            id(rule): self.analysis.analysis_for(rule) for rule in program.rules
+        }
+        # Conditions mentioning assignment/aggregate variables can only be
+        # evaluated after those values are computed ("post" conditions); the
+        # remaining ones are checked while matching the body.
+        self._post_conditions: Dict[int, Tuple] = {}
+        for rule in program.rules:
+            body_vars = set(rule.body_variables())
+            post = tuple(
+                c for c in rule.conditions if any(v not in body_vars for v in c.variables())
+            )
+            self._post_conditions[id(rule)] = post
+        self._register_aggregated_positions()
+
+    # ------------------------------------------------------------------ setup
+    def _register_aggregated_positions(self) -> None:
+        for rule in self.program.rules:
+            if rule.aggregate is None:
+                continue
+            for atom in rule.head:
+                for index, term in enumerate(atom.terms):
+                    if term == rule.aggregate.variable:
+                        self.aggregates.register_position(
+                            atom.predicate, index, rule.aggregate.function
+                        )
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> ChaseResult:
+        """Run the chase to completion (or until a safety limit triggers)."""
+        started = time.perf_counter()
+        store = FactStore()
+        nodes: List[ChaseNode] = []
+        node_of: Dict[Fact, ChaseNode] = {}
+        fact_round: Dict[Fact, int] = {}
+
+        for fact in self._database_facts:
+            if store.add(fact):
+                node = input_node(fact, step=0)
+                nodes.append(node)
+                node_of[fact] = node
+                fact_round[fact] = 0
+                self.strategy.register_input(node)
+
+        result = ChaseResult(
+            store=store,
+            nodes=nodes,
+            program=self.program,
+            strategy=self.strategy,
+            aggregates=self.aggregates,
+        )
+
+        round_index = 0
+        delta: List[ChaseNode] = list(nodes)
+        while delta:
+            round_index += 1
+            if self.config.max_rounds is not None and round_index > self.config.max_rounds:
+                raise ChaseLimitError(
+                    f"chase exceeded the configured maximum of {self.config.max_rounds} rounds"
+                )
+            delta_by_predicate: Dict[str, List[Fact]] = {}
+            for node in delta:
+                delta_by_predicate.setdefault(node.fact.predicate, []).append(node.fact)
+            new_nodes: List[ChaseNode] = []
+            for rule in self.program.rules:
+                produced = self._apply_rule(
+                    rule, store, node_of, fact_round, delta_by_predicate, round_index, result
+                )
+                new_nodes.extend(produced)
+                if self.config.max_facts is not None and len(store) > self.config.max_facts:
+                    raise ChaseLimitError(
+                        f"chase exceeded the configured maximum of {self.config.max_facts} facts"
+                    )
+            delta = new_nodes
+        result.rounds = round_index
+
+        if self.config.apply_egds and self.program.egds:
+            self._apply_egds(result)
+        if self.config.check_constraints and self.program.constraints:
+            self._check_constraints(result)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ---------------------------------------------------------- rule matching
+    def _apply_rule(
+        self,
+        rule: Rule,
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        fact_round: Dict[Fact, int],
+        delta_by_predicate: Dict[str, List[Fact]],
+        round_index: int,
+        result: ChaseResult,
+    ) -> List[ChaseNode]:
+        analysis = self._rule_analyses[id(rule)]
+        produced: List[ChaseNode] = []
+        body = rule.relational_body
+        for seed_index in range(len(body)):
+            for binding, used_facts in self._matches(
+                rule, body, seed_index, store, fact_round, delta_by_predicate, round_index
+            ):
+                produced.extend(
+                    self._fire(
+                        rule,
+                        analysis,
+                        binding,
+                        used_facts,
+                        store,
+                        node_of,
+                        fact_round,
+                        round_index,
+                        result,
+                    )
+                )
+        return produced
+
+    def _matches(
+        self,
+        rule: Rule,
+        body: Tuple[Atom, ...],
+        seed_index: int,
+        store: FactStore,
+        fact_round: Dict[Fact, int],
+        delta_by_predicate: Dict[str, List[Fact]],
+        round_index: int,
+        ) -> Iterator[Tuple[Dict[Variable, Term], List[Fact]]]:
+        """Enumerate bindings where atom ``seed_index`` matches a delta fact.
+
+        To avoid producing the same join twice across different seed choices,
+        atoms before the seed are restricted to facts of *earlier* rounds
+        while atoms after the seed may match any fact (the standard semi-naive
+        decomposition).
+        """
+        seed_atom = body[seed_index]
+        other_atoms = [(i, atom) for i, atom in enumerate(body) if i != seed_index]
+
+        for seed_fact in delta_by_predicate.get(seed_atom.predicate, ()):
+            seed_binding = seed_atom.match(seed_fact)
+            if seed_binding is None:
+                continue
+            used: List[Optional[Fact]] = [None] * len(body)
+            used[seed_index] = seed_fact
+            yield from self._extend_match(
+                rule,
+                other_atoms,
+                0,
+                dict(seed_binding),
+                used,
+                store,
+                fact_round,
+                round_index,
+                seed_index,
+            )
+
+    def _extend_match(
+        self,
+        rule: Rule,
+        other_atoms: List[Tuple[int, Atom]],
+        position: int,
+        binding: Dict[Variable, Term],
+        used: List[Optional[Fact]],
+        store: FactStore,
+        fact_round: Dict[Fact, int],
+        round_index: int,
+        seed_index: int,
+    ) -> Iterator[Tuple[Dict[Variable, Term], List[Fact]]]:
+        if position == len(other_atoms):
+            if self._guards_hold(rule, binding, store):
+                yield dict(binding), [f for f in used if f is not None]
+            return
+        atom_index, atom = other_atoms[position]
+        ground_atom = atom.substitute(binding)
+        for fact in store.candidates(ground_atom, binding):
+            if atom_index < seed_index and fact_round.get(fact, 0) >= round_index:
+                # Atoms before the seed may only use facts from earlier rounds,
+                # otherwise the same join would be enumerated once per seed.
+                continue
+            extension = ground_atom.match(fact)
+            if extension is None:
+                continue
+            new_binding = dict(binding)
+            new_binding.update(extension)
+            used[atom_index] = fact
+            yield from self._extend_match(
+                rule,
+                other_atoms,
+                position + 1,
+                new_binding,
+                used,
+                store,
+                fact_round,
+                round_index,
+                seed_index,
+            )
+            used[atom_index] = None
+
+    def _guards_hold(
+        self, rule: Rule, binding: Dict[Variable, Term], store: FactStore
+    ) -> bool:
+        """Check ``Dom`` guards and comparison conditions for a full body match."""
+        for guard in rule.dom_guards:
+            for term in guard.terms:
+                if isinstance(term, Variable):
+                    if term.name == "_STAR":
+                        # ``Dom(*)``: every bound body variable must be a ground
+                        # constant of the active domain (Section 2, Example 6).
+                        if any(not isinstance(v, Constant) for v in binding.values()):
+                            return False
+                        continue
+                    bound = binding.get(term)
+                    if bound is None or not isinstance(bound, Constant):
+                        return False
+                    if not store.in_active_domain(bound.value):
+                        return False
+                elif isinstance(term, Null):
+                    return False
+        post = self._post_conditions.get(id(rule), ())
+        for condition in rule.conditions:
+            if condition in post:
+                continue
+            if not condition.holds(binding):
+                return False
+        return True
+
+    def _post_conditions_hold(self, rule: Rule, binding: Dict[Variable, Term]) -> bool:
+        """Evaluate the conditions deferred until computed values are available."""
+        for condition in self._post_conditions.get(id(rule), ()):
+            if not condition.holds(binding):
+                return False
+        return True
+
+    # ----------------------------------------------------------------- firing
+    def _fire(
+        self,
+        rule: Rule,
+        analysis: RuleAnalysis,
+        binding: Dict[Variable, Term],
+        used_facts: List[Fact],
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        fact_round: Dict[Fact, int],
+        round_index: int,
+        result: ChaseResult,
+    ) -> List[ChaseNode]:
+        full_binding = dict(binding)
+        try:
+            for assignment in rule.assignments:
+                full_binding[assignment.variable] = assignment.compute(full_binding)
+            if rule.aggregate is not None:
+                aggregate_value = self._aggregate_value(rule, rule.aggregate, full_binding)
+                if aggregate_value is None:
+                    return []
+                full_binding[rule.aggregate.variable] = aggregate_value
+        except ExpressionError:
+            return []
+        if not self._post_conditions_hold(rule, full_binding):
+            return []
+
+        existentials = rule.existential_variables()
+        for variable in existentials:
+            full_binding[variable] = self.null_factory.fresh()
+
+        produced: List[ChaseNode] = []
+        parents = [node_of[f] for f in used_facts if f in node_of]
+        ward_parent = None
+        if analysis.kind is RuleKind.WARDED and analysis.ward is not None:
+            for atom, fact in zip(rule.relational_body, used_facts):
+                if atom is analysis.ward and fact in node_of:
+                    ward_parent = node_of[fact]
+                    break
+            if ward_parent is None:
+                for atom, fact in zip(rule.relational_body, used_facts):
+                    if atom == analysis.ward and fact in node_of:
+                        ward_parent = node_of[fact]
+                        break
+
+        for head_atom in rule.head:
+            head_fact = self._instantiate_head(head_atom, full_binding)
+            result.candidate_facts += 1
+            if head_fact in store:
+                continue
+            node = derived_node(
+                fact=head_fact,
+                kind=analysis.kind,
+                rule_label=rule.label or "rule",
+                parents=parents,
+                ward_parent=ward_parent,
+                step=round_index,
+            )
+            if not self.strategy.admit(node):
+                continue
+            store.add(head_fact)
+            node_of[head_fact] = node
+            fact_round[head_fact] = round_index
+            result.nodes.append(node)
+            result.chase_steps += 1
+            produced.append(node)
+        return produced
+
+    def _instantiate_head(self, atom: Atom, binding: Dict[Variable, Term]) -> Fact:
+        terms: List[Term] = []
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                value = binding.get(term)
+                if value is None:
+                    raise InconsistencyError(
+                        f"head variable {term.name} of {atom!r} is unbound; "
+                        "the rule is unsafe"
+                    )
+                terms.append(value)
+            else:
+                terms.append(term)
+        return Fact(atom.predicate, terms)
+
+    def _aggregate_value(
+        self, rule: Rule, spec: AggregateSpec, binding: Dict[Variable, Term]
+    ) -> Optional[Term]:
+        evaluator = self.aggregates.evaluator_for(rule.label or str(id(rule)), spec)
+        group_variables = tuple(
+            v
+            for v in rule.head_variables()
+            if v != spec.variable and v in binding
+        )
+        group_key = tuple(self._binding_key(binding[v]) for v in group_variables)
+        if any(isinstance(binding[v], Null) for v in group_variables):
+            # Group-by arguments must be non-null (Section 5 constraint 1).
+            return None
+        if spec.contributors:
+            contributor_terms = [binding.get(v) for v in spec.contributors]
+            if any(t is None or isinstance(t, Null) for t in contributor_terms):
+                # Contributors must be non-null values (Section 5, constraint 1).
+                return None
+            contributor_key: Hashable = tuple(self._binding_key(t) for t in contributor_terms)
+        else:
+            contributor_key = tuple(
+                sorted((v.name, str(self._binding_key(t))) for v, t in binding.items())
+            )
+        value = spec.argument.evaluate(binding)
+        if isinstance(value, Null):
+            # Counting/collecting aggregations treat labelled nulls by identity;
+            # numeric aggregations cannot use them as values.
+            if spec.function not in ("mcount", "munion"):
+                return None
+            value = ("null", value.ident)
+        current = evaluator.update(group_key, contributor_key, value)
+        if isinstance(current, frozenset):
+            return Constant(current)
+        return Constant(current)
+
+    @staticmethod
+    def _binding_key(term: Term) -> Hashable:
+        if isinstance(term, Constant):
+            return ("c", term.value)
+        if isinstance(term, Null):
+            return ("n", term.ident)
+        raise TypeError(f"unexpected non-ground binding {term!r}")
+
+    # ------------------------------------------------------------ constraints
+    def _check_constraints(self, result: ChaseResult) -> None:
+        for constraint in self.program.constraints:
+            for binding, used in self._constraint_matches(constraint.body, result.store):
+                if all(c.holds(binding) for c in constraint.conditions):
+                    violation = Violation(
+                        kind="negative-constraint",
+                        label=constraint.label,
+                        witnesses=tuple(used),
+                    )
+                    result.violations.append(violation)
+                    if self.config.fail_on_violation:
+                        raise InconsistencyError(str(violation))
+
+    def _apply_egds(self, result: ChaseResult) -> None:
+        for egd in self.program.egds:
+            for binding, used in self._constraint_matches(egd.body, result.store):
+                if not all(c.holds(binding) for c in egd.conditions):
+                    continue
+                left = binding.get(egd.left)
+                right = binding.get(egd.right)
+                if left is None or right is None or left == right:
+                    continue
+                if isinstance(left, Constant) and isinstance(right, Constant):
+                    violation = Violation(
+                        kind="egd",
+                        label=egd.label,
+                        witnesses=tuple(used),
+                        detail=f"({left} != {right})",
+                    )
+                    result.violations.append(violation)
+                    if self.config.fail_on_violation:
+                        raise InconsistencyError(str(violation))
+
+    def _constraint_matches(
+        self, body: Tuple[Atom, ...], store: FactStore
+    ) -> Iterator[Tuple[Dict[Variable, Term], List[Fact]]]:
+        relational = [a for a in body if a.predicate != DOM_PREDICATE]
+        dom_guards = [a for a in body if a.predicate == DOM_PREDICATE]
+
+        def recurse(index: int, binding: Dict[Variable, Term], used: List[Fact]):
+            if index == len(relational):
+                for guard in dom_guards:
+                    for term in guard.terms:
+                        if isinstance(term, Variable):
+                            bound = binding.get(term)
+                            if bound is None or not isinstance(bound, Constant):
+                                return
+                yield dict(binding), list(used)
+                return
+            atom = relational[index].substitute(binding)
+            for fact in store.candidates(atom, binding):
+                extension = atom.match(fact)
+                if extension is None:
+                    continue
+                new_binding = dict(binding)
+                new_binding.update(extension)
+                used.append(fact)
+                yield from recurse(index + 1, new_binding, used)
+                used.pop()
+
+        yield from recurse(0, {}, [])
+
+
+def run_chase(
+    program: Program,
+    database: Iterable[Fact] = (),
+    strategy: Optional[TerminationStrategy] = None,
+    config: Optional[ChaseConfig] = None,
+) -> ChaseResult:
+    """One-call helper: build a :class:`ChaseEngine` and run it."""
+    engine = ChaseEngine(program, database, strategy=strategy, config=config)
+    return engine.run()

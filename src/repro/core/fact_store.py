@@ -1,0 +1,119 @@
+"""In-memory fact store with dynamic per-position hash indexes.
+
+This is the data substrate shared by the chase engine and the baselines: a
+set of facts grouped by predicate, with hash indexes on (predicate,
+position, value) built *dynamically* as facts are inserted, mirroring the
+"dynamic indexing" idea of the slot-machine join (Section 4): there is no
+persistent pre-computed index, the indexes grow with the derived facts and
+can be consulted even while incomplete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .atoms import Atom, Fact
+from .terms import Constant, Null, Term, Variable
+
+
+def _term_key(term: Term) -> Hashable:
+    """Hashable lookup key of a ground term (constants and nulls are disjoint)."""
+    if isinstance(term, Constant):
+        return ("c", term.value)
+    if isinstance(term, Null):
+        return ("n", term.ident)
+    raise TypeError(f"cannot index non-ground term {term!r}")
+
+
+class FactStore:
+    """A set of facts with per-position hash indexes and insertion order."""
+
+    def __init__(self, facts: Iterable[Fact] = ()) -> None:
+        self._facts: List[Fact] = []
+        self._fact_set: Set[Fact] = set()
+        self._by_predicate: Dict[str, List[Fact]] = {}
+        self._position_index: Dict[Tuple[str, int, Hashable], List[Fact]] = {}
+        self._active_domain: Set[Hashable] = set()
+        for fact in facts:
+            self.add(fact)
+
+    # -- mutation ------------------------------------------------------------
+    def add(self, fact: Fact) -> bool:
+        """Insert a fact; returns ``False`` when an identical fact is present."""
+        if fact in self._fact_set:
+            return False
+        self._fact_set.add(fact)
+        self._facts.append(fact)
+        self._by_predicate.setdefault(fact.predicate, []).append(fact)
+        for index, term in enumerate(fact.terms):
+            key = (fact.predicate, index, _term_key(term))
+            self._position_index.setdefault(key, []).append(fact)
+            if isinstance(term, Constant):
+                self._active_domain.add(term.value)
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert many facts, returning the number actually added."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    # -- inspection ----------------------------------------------------------
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._fact_set
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def facts(self) -> Tuple[Fact, ...]:
+        return tuple(self._facts)
+
+    def predicates(self) -> Tuple[str, ...]:
+        return tuple(self._by_predicate)
+
+    def by_predicate(self, predicate: str) -> Sequence[Fact]:
+        return self._by_predicate.get(predicate, ())
+
+    def count(self, predicate: str) -> int:
+        return len(self._by_predicate.get(predicate, ()))
+
+    def active_domain(self) -> Set[Hashable]:
+        """Constants occurring anywhere in the store (the ``ACDom`` relation)."""
+        return set(self._active_domain)
+
+    def in_active_domain(self, value: Hashable) -> bool:
+        return value in self._active_domain
+
+    # -- matching ------------------------------------------------------------
+    def candidates(self, atom: Atom, binding: Dict[Variable, Term]) -> Sequence[Fact]:
+        """Facts that could match ``atom`` under the (partial) ``binding``.
+
+        Uses the most selective available position index: the first atom
+        position holding a constant or an already-bound variable.  Falls back
+        to a full scan of the predicate when the atom has no bound position.
+        """
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                bound = binding.get(term)
+                if bound is None:
+                    continue
+                term = bound
+            key = (atom.predicate, index, _term_key(term))
+            return self._position_index.get(key, ())
+        return self._by_predicate.get(atom.predicate, ())
+
+    def matches(self, atom: Atom, binding: Optional[Dict[Variable, Term]] = None) -> Iterator[Dict[Variable, Term]]:
+        """Yield extensions of ``binding`` that match ``atom`` against the store."""
+        binding = dict(binding or {})
+        ground_atom = atom.substitute(binding)
+        for fact in self.candidates(ground_atom, binding):
+            extension = ground_atom.match(fact)
+            if extension is None:
+                continue
+            merged = dict(binding)
+            merged.update(extension)
+            yield merged
+
+    def copy(self) -> "FactStore":
+        return FactStore(self._facts)

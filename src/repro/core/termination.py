@@ -1,0 +1,282 @@
+"""Termination strategies for the chase (Section 3.4, Algorithm 1).
+
+A *termination strategy* guides the chase: for every fact a chase step is
+about to add it decides whether the step must be activated.  The strategies
+implemented here are:
+
+* :class:`WardedTerminationStrategy` — the paper's Algorithm 1, combining
+  the **ground structure** ``G`` (facts of each warded-forest tree, target of
+  local isomorphism checks) and the **summary structure** ``S`` (learned
+  stop-provenances indexed by the pattern of the lifted-linear-forest root);
+* :class:`TrivialIsomorphismStrategy` — the "trivial technique" of
+  Section 3.2/6.6: memorise *all* generated facts up to isomorphism and cut
+  when an isomorphic fact was already produced (exhaustive storage, global
+  check);
+* :class:`UnboundedStrategy` — performs no pruning beyond exact-duplicate
+  elimination; only usable on programs guaranteed to terminate (e.g. plain
+  Datalog) and by baselines implementing their own checks;
+* :class:`DepthBoundedStrategy` — a defensive cap on the warded-forest /
+  derivation depth, used to guard experiments against mis-specified rule
+  sets.
+
+All strategies expose counters (isomorphism checks performed, facts pruned)
+used by the Figure-7 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from .atoms import Fact
+from .forests import ChaseNode
+from .isomorphism import isomorphism_key, pattern_key
+from .provenance import StopProvenanceSet
+from .wardedness import RuleKind
+
+
+@dataclass
+class TerminationStats:
+    """Counters reported by every termination strategy."""
+
+    admitted: int = 0
+    rejected: int = 0
+    isomorphism_checks: int = 0
+    vertical_prunes: int = 0
+    horizontal_skips: int = 0
+    stop_provenances_learned: int = 0
+    stored_facts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "isomorphism_checks": self.isomorphism_checks,
+            "vertical_prunes": self.vertical_prunes,
+            "horizontal_skips": self.horizontal_skips,
+            "stop_provenances_learned": self.stop_provenances_learned,
+            "stored_facts": self.stored_facts,
+        }
+
+
+class TerminationStrategy:
+    """Interface of a termination strategy (the ``check_termination`` oracle)."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = TerminationStats()
+
+    def admit(self, node: ChaseNode) -> bool:
+        """Return ``True`` when the chase step producing ``node`` may be activated."""
+        raise NotImplementedError
+
+    def register_input(self, node: ChaseNode) -> None:
+        """Inform the strategy about an extensional (database) fact."""
+
+    def _record(self, admitted: bool) -> bool:
+        if admitted:
+            self.stats.admitted += 1
+        else:
+            self.stats.rejected += 1
+        return admitted
+
+
+class _WardedTree:
+    """Facts of one tree of the warded forest, indexed by isomorphism key."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: Set[Hashable] = set()
+
+    def contains_isomorphic(self, fact: Fact) -> bool:
+        return isomorphism_key(fact) in self.keys
+
+    def add(self, fact: Fact) -> None:
+        self.keys.add(isomorphism_key(fact))
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class WardedTerminationStrategy(TerminationStrategy):
+    """Algorithm 1 of the paper.
+
+    The strategy assumes the program has been normalised so that (1) rules
+    are harmless warded and (2) existential quantification appears only in
+    linear rules (Section 3.4); :class:`repro.engine.reasoner.VadalogReasoner`
+    performs both normalisations before the chase starts.
+    """
+
+    name = "warded"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Ground structure ``G``: warded-forest trees keyed by root identity.
+        self._ground: Dict[int, _WardedTree] = {}
+        #: Summary structure ``S``: stop-provenances keyed by root pattern.
+        self._summary: Dict[Hashable, StopProvenanceSet] = {}
+        #: Ground (null-free) facts seen anywhere, for the non-linear case.
+        self._ground_facts: Set[Fact] = set()
+
+    # -- helpers ---------------------------------------------------------------
+    def _tree(self, node: ChaseNode) -> _WardedTree:
+        tree = self._ground.get(node.w_root.ident)
+        if tree is None:
+            tree = _WardedTree()
+            self._ground[node.w_root.ident] = tree
+        return tree
+
+    def _summary_for(self, node: ChaseNode) -> StopProvenanceSet:
+        key = pattern_key(node.l_root.fact)
+        entry = self._summary.get(key)
+        if entry is None:
+            entry = StopProvenanceSet()
+            self._summary[key] = entry
+        return entry
+
+    # -- protocol ----------------------------------------------------------------
+    def register_input(self, node: ChaseNode) -> None:
+        self._tree(node).add(node.fact)
+        if not node.fact.has_nulls:
+            self._ground_facts.add(node.fact)
+        self.stats.stored_facts += 1
+
+    def admit(self, node: ChaseNode) -> bool:
+        if node.kind in (RuleKind.LINEAR, RuleKind.WARDED):
+            summary = self._summary_for(node)
+            if summary.covers(node.provenance):
+                # Beyond a known stop-provenance: the whole path would only
+                # re-generate isomorphic facts (vertical + horizontal pruning).
+                self.stats.vertical_prunes += 1
+                return self._record(False)
+            if summary.within(node.provenance):
+                # Strictly within a known maximal path: the fact is needed but
+                # no isomorphism check has to be performed.
+                self.stats.horizontal_skips += 1
+                if not node.fact.has_nulls:
+                    self._ground_facts.add(node.fact)
+                return self._record(True)
+            tree = self._tree(node)
+            self.stats.isomorphism_checks += 1
+            if tree.contains_isomorphic(node.fact):
+                summary.add(node.provenance)
+                self.stats.stop_provenances_learned += 1
+                return self._record(False)
+            tree.add(node.fact)
+            self.stats.stored_facts += 1
+            if not node.fact.has_nulls:
+                self._ground_facts.add(node.fact)
+            return self._record(True)
+
+        # Other non-linear generating rules: the fact roots a new warded tree.
+        # Existentials are confined to linear rules, hence the fact is ground
+        # and redundancy reduces to set containment of ground facts.
+        if node.fact.has_nulls:
+            # Defensive fallback for non-normalised programs: behave like the
+            # trivial global isomorphism check for this fact, which preserves
+            # termination.
+            key = isomorphism_key(node.fact)
+            self.stats.isomorphism_checks += 1
+            if any(tree_key == key for tree in self._ground.values() for tree_key in tree.keys):
+                return self._record(False)
+            self._tree(node).add(node.fact)
+            self.stats.stored_facts += 1
+            return self._record(True)
+        if node.fact in self._ground_facts:
+            return self._record(False)
+        self._ground_facts.add(node.fact)
+        self._tree(node).add(node.fact)
+        self.stats.stored_facts += 1
+        return self._record(True)
+
+    # -- introspection -------------------------------------------------------
+    def ground_structure_size(self) -> int:
+        return sum(len(tree) for tree in self._ground.values())
+
+    def summary_structure_size(self) -> int:
+        return sum(len(entry) for entry in self._summary.values())
+
+    def tree_count(self) -> int:
+        return len(self._ground)
+
+
+class TrivialIsomorphismStrategy(TerminationStrategy):
+    """Exhaustive storage of all facts up to isomorphism, with global checks.
+
+    This is the baseline the paper measures in Section 6.6 (Figure 7): it is
+    correct for harmless warded programs (Theorem 2) but stores every
+    generated fact and performs one (hash-based) isomorphism lookup per
+    candidate fact against the entire history.
+    """
+
+    name = "trivial-isomorphism"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._keys: Set[Hashable] = set()
+
+    def register_input(self, node: ChaseNode) -> None:
+        self._keys.add(isomorphism_key(node.fact))
+        self.stats.stored_facts += 1
+
+    def admit(self, node: ChaseNode) -> bool:
+        self.stats.isomorphism_checks += 1
+        key = isomorphism_key(node.fact)
+        if key in self._keys:
+            return self._record(False)
+        self._keys.add(key)
+        self.stats.stored_facts += 1
+        return self._record(True)
+
+
+class UnboundedStrategy(TerminationStrategy):
+    """No pruning beyond exact duplicates (the chase engine already removes those)."""
+
+    name = "unbounded"
+
+    def admit(self, node: ChaseNode) -> bool:
+        return self._record(True)
+
+
+class DepthBoundedStrategy(TerminationStrategy):
+    """Cap the linear-forest depth of derivations; wraps another strategy.
+
+    Used defensively by experiment harnesses: the inner strategy decides as
+    usual, but any derivation deeper than ``max_depth`` in the linear forest
+    is cut.
+    """
+
+    name = "depth-bounded"
+
+    def __init__(self, max_depth: int, inner: Optional[TerminationStrategy] = None) -> None:
+        super().__init__()
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.inner = inner or UnboundedStrategy()
+
+    def register_input(self, node: ChaseNode) -> None:
+        self.inner.register_input(node)
+
+    def admit(self, node: ChaseNode) -> bool:
+        if len(node.provenance) > self.max_depth:
+            return self._record(False)
+        return self._record(self.inner.admit(node))
+
+
+def strategy_by_name(name: str, **kwargs) -> TerminationStrategy:
+    """Factory used by the benchmark harness and the public API."""
+    registry = {
+        "warded": WardedTerminationStrategy,
+        "trivial-isomorphism": TrivialIsomorphismStrategy,
+        "unbounded": UnboundedStrategy,
+    }
+    if name == "depth-bounded":
+        return DepthBoundedStrategy(**kwargs)
+    if name not in registry:
+        raise ValueError(
+            f"unknown termination strategy {name!r}; known: {', '.join(registry)} , depth-bounded"
+        )
+    return registry[name](**kwargs)

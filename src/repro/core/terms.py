@@ -1,0 +1,202 @@
+"""Terms of the Vadalog / Warded Datalog± language.
+
+The paper distinguishes three disjoint, countably infinite sets of symbols
+(Section 2.1):
+
+* **constants** (``C``) — ground values from the extensional database,
+* **labelled nulls** (``N``) — fresh witnesses introduced by the chase to
+  satisfy existential quantification,
+* **variables** (``V``) — regular (universally quantified) rule variables.
+
+This module provides immutable, hashable Python representations of each of
+these symbol classes plus small utilities (fresh-name generators and
+substitution application) used throughout the reasoner.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Tuple, Union
+
+
+class Term:
+    """Abstract base class of all term kinds.
+
+    Terms are value objects: they are immutable, hashable and compare by
+    value.  The concrete subclasses are :class:`Constant`, :class:`Variable`
+    and :class:`Null`.
+    """
+
+    __slots__ = ()
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    @property
+    def is_null(self) -> bool:
+        return isinstance(self, Null)
+
+    @property
+    def is_ground(self) -> bool:
+        """A term is ground if it is not a variable (constants and nulls)."""
+        return not isinstance(self, Variable)
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Term):
+    """A ground constant wrapping an arbitrary hashable Python value.
+
+    Vadalog terms are typed (Section 5 "Data Types"); we support the basic
+    types by simply wrapping the corresponding Python value (``int``,
+    ``float``, ``str``, ``bool``, ``date`` …) as well as frozen composites
+    (tuples, frozensets) for the set/list data types.
+    """
+
+    value: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A (universally or existentially quantified) rule variable."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Null(Term):
+    """A labelled null ``ν_i`` introduced by the chase for an existential.
+
+    Nulls carry an integer identifier.  Two nulls are the same labelled null
+    iff their identifiers coincide.  The optional ``origin`` records the
+    Skolem term the null stands for (used by the Skolemized baselines and by
+    the harmful-join elimination machinery); it does not take part in
+    equality.
+    """
+
+    ident: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Null({self.ident})"
+
+    def __str__(self) -> str:
+        return f"_:n{self.ident}"
+
+
+Value = Union[Constant, Null]
+Substitution = Mapping[Variable, Term]
+
+
+class NullFactory:
+    """Thread-safe factory of fresh labelled nulls.
+
+    The chase must never reuse a null identifier within one reasoning task;
+    a factory instance is attached to each chase run so that identifiers are
+    deterministic for a given execution (useful for reproducible tests).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def fresh(self) -> Null:
+        """Return a labelled null with an identifier never handed out before."""
+        with self._lock:
+            return Null(next(self._counter))
+
+    def fresh_many(self, n: int) -> Tuple[Null, ...]:
+        """Return ``n`` distinct fresh nulls."""
+        return tuple(self.fresh() for _ in range(n))
+
+
+class VariableFactory:
+    """Factory of fresh variables, used by program rewritings.
+
+    Generated names use a reserved ``_V`` prefix so they can never clash with
+    user-written variable names (the parser rejects identifiers starting with
+    an underscore).
+    """
+
+    def __init__(self, prefix: str = "_V") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self) -> Variable:
+        return Variable(f"{self._prefix}{next(self._counter)}")
+
+    def fresh_many(self, n: int) -> Tuple[Variable, ...]:
+        return tuple(self.fresh() for _ in range(n))
+
+
+def make_term(value: Any) -> Term:
+    """Coerce a raw Python value into a :class:`Term`.
+
+    Existing terms are passed through unchanged; strings beginning with an
+    upper-case letter are *not* treated as variables here (that convention
+    belongs to the parser) — every non-term value becomes a :class:`Constant`.
+    """
+    if isinstance(value, Term):
+        return value
+    return Constant(value)
+
+
+def constants_of(terms: Iterable[Term]) -> Tuple[Constant, ...]:
+    """Return the constants occurring in ``terms`` in order of appearance."""
+    return tuple(t for t in terms if isinstance(t, Constant))
+
+
+def nulls_of(terms: Iterable[Term]) -> Tuple[Null, ...]:
+    """Return the labelled nulls occurring in ``terms`` in order of appearance."""
+    return tuple(t for t in terms if isinstance(t, Null))
+
+
+def variables_of(terms: Iterable[Term]) -> Tuple[Variable, ...]:
+    """Return the variables occurring in ``terms`` in order of appearance."""
+    return tuple(t for t in terms if isinstance(t, Variable))
+
+
+def apply_substitution(term: Term, substitution: Substitution) -> Term:
+    """Apply a variable substitution to a single term.
+
+    Variables not bound by the substitution are returned unchanged, as are
+    constants and nulls.
+    """
+    if isinstance(term, Variable):
+        return substitution.get(term, term)
+    return term
+
+
+def merge_substitutions(
+    first: Substitution, second: Substitution
+) -> Dict[Variable, Term] | None:
+    """Merge two substitutions, returning ``None`` on conflicting bindings.
+
+    Used by the rule-matching machinery when combining the bindings obtained
+    from different body atoms of a join.
+    """
+    merged: Dict[Variable, Term] = dict(first)
+    for variable, value in second.items():
+        bound = merged.get(variable)
+        if bound is None:
+            merged[variable] = value
+        elif bound != value:
+            return None
+    return merged

@@ -1,0 +1,194 @@
+"""Logic-optimizer rewritings applied before compiling a program (Section 4).
+
+The paper's logic optimizer performs *elementary* rewritings (multiple-head
+elimination, redundancy elimination) and *complex* ones (harmful-join
+elimination, in :mod:`repro.core.harmful_joins`).  This module implements the
+elementary rewritings plus the normalisation assumed by Algorithm 1, namely
+that **existential quantification appears only in linear rules** (Section
+3.4: "the second [condition is achieved] with an elementary logic
+transformation").
+
+All rewritings preserve the reasoning task: the rewritten program computes
+the same facts for the original predicates (auxiliary predicates introduced
+by the rewriting use a reserved ``_aux`` prefix and are excluded from
+outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .atoms import Atom
+from .isomorphism import atom_structure_key
+from .rules import Program, Rule
+from .terms import Variable
+
+AUX_PREFIX = "_aux_"
+"""Prefix of auxiliary predicates introduced by rewritings."""
+
+
+def is_auxiliary_predicate(name: str) -> bool:
+    """True for predicates introduced by the logic optimizer."""
+    return name.startswith(AUX_PREFIX)
+
+
+def _fresh_aux_name(base: str, used: set) -> str:
+    candidate = f"{AUX_PREFIX}{base}"
+    counter = 0
+    while candidate in used:
+        counter += 1
+        candidate = f"{AUX_PREFIX}{base}_{counter}"
+    used.add(candidate)
+    return candidate
+
+
+def split_multiple_heads(program: Program) -> Program:
+    """Rewrite rules with several head atoms into single-head rules.
+
+    When the head atoms share existentially quantified variables the split
+    must preserve the *joint* witnesses: an auxiliary atom collecting every
+    head variable is produced by the original body, and each original head
+    atom is derived from the auxiliary atom by a linear rule.  Without shared
+    existentials the rule is simply split into one rule per head atom.
+    """
+    rewritten = program.copy()
+    rewritten.rules = []
+    used_predicates = {p.name for p in program.predicates()}
+    for rule in program.rules:
+        if len(rule.head) == 1:
+            rewritten.add_rule(rule)
+            continue
+        existentials = set(rule.existential_variables())
+        shared = _existentials_shared_between_heads(rule, existentials)
+        if not shared:
+            for index, head_atom in enumerate(rule.head):
+                rewritten.add_rule(
+                    Rule(
+                        body=rule.body,
+                        head=(head_atom,),
+                        conditions=rule.conditions,
+                        assignments=rule.assignments,
+                        aggregate=rule.aggregate,
+                        label=f"{rule.label or 'rule'}_h{index + 1}",
+                    )
+                )
+            continue
+        aux_name = _fresh_aux_name(f"{rule.label or 'rule'}_head", used_predicates)
+        head_variables = tuple(rule.head_variables())
+        aux_atom = Atom(aux_name, head_variables)
+        rewritten.add_rule(
+            Rule(
+                body=rule.body,
+                head=(aux_atom,),
+                conditions=rule.conditions,
+                assignments=rule.assignments,
+                aggregate=rule.aggregate,
+                label=f"{rule.label or 'rule'}_aux",
+            )
+        )
+        for index, head_atom in enumerate(rule.head):
+            rewritten.add_rule(
+                Rule(
+                    body=(aux_atom,),
+                    head=(head_atom,),
+                    label=f"{rule.label or 'rule'}_h{index + 1}",
+                )
+            )
+    return rewritten
+
+
+def _existentials_shared_between_heads(rule: Rule, existentials: set) -> set:
+    """Existential variables occurring in more than one head atom."""
+    counts: Dict[Variable, int] = {}
+    for atom in rule.head:
+        for variable in set(atom.variables()):
+            if variable in existentials:
+                counts[variable] = counts.get(variable, 0) + 1
+    return {v for v, count in counts.items() if count > 1}
+
+
+def isolate_existentials(program: Program) -> Program:
+    """Ensure existential quantification appears only in linear rules.
+
+    Every non-linear rule with existentials ``φ(x̄, ȳ) → ∃z̄ H(x̄, z̄)`` is
+    split into ``φ(x̄, ȳ) → Aux(x̄)`` (no existentials, same body) followed by
+    the linear rule ``Aux(x̄) → ∃z̄ H(x̄, z̄)``.  Rules that are already linear
+    or existential-free pass through unchanged.
+    """
+    rewritten = program.copy()
+    rewritten.rules = []
+    used_predicates = {p.name for p in program.predicates()}
+    for rule in program.rules:
+        if rule.is_linear() or not rule.has_existentials():
+            rewritten.add_rule(rule)
+            continue
+        frontier = tuple(
+            v
+            for v in rule.head_variables()
+            if v not in set(rule.existential_variables())
+        )
+        aux_name = _fresh_aux_name(f"{rule.label or 'rule'}_exist", used_predicates)
+        aux_atom = Atom(aux_name, frontier)
+        rewritten.add_rule(
+            Rule(
+                body=rule.body,
+                head=(aux_atom,),
+                conditions=rule.conditions,
+                assignments=rule.assignments,
+                aggregate=rule.aggregate,
+                label=f"{rule.label or 'rule'}_body",
+            )
+        )
+        rewritten.add_rule(
+            Rule(
+                body=(aux_atom,),
+                head=rule.head,
+                label=f"{rule.label or 'rule'}_exists",
+            )
+        )
+    return rewritten
+
+
+def _rule_structure_key(rule: Rule) -> Tuple:
+    """Canonical key of a rule up to variable renaming (for redundancy removal)."""
+    renaming: Dict[Variable, Variable] = {}
+
+    def canon(atom: Atom) -> Atom:
+        terms = []
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                terms.append(renaming.setdefault(term, Variable(f"_c{len(renaming)}")))
+            else:
+                terms.append(term)
+        return Atom(atom.predicate, terms)
+
+    body_key = tuple(atom_structure_key(a.predicate, canon(a).terms) for a in rule.body)
+    head_key = tuple(atom_structure_key(a.predicate, canon(a).terms) for a in rule.head)
+    condition_key = tuple(str(c) for c in rule.conditions)
+    assignment_key = tuple(str(a) for a in rule.assignments)
+    aggregate_key = str(rule.aggregate) if rule.aggregate else ""
+    return (body_key, head_key, condition_key, assignment_key, aggregate_key)
+
+
+def remove_duplicate_rules(program: Program) -> Program:
+    """Drop rules that are structurally identical up to variable renaming."""
+    rewritten = program.copy()
+    rewritten.rules = []
+    seen: set = set()
+    for rule in program.rules:
+        key = _rule_structure_key(rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        rewritten.rules.append(rule)
+    return rewritten
+
+
+def normalize_for_chase(program: Program) -> Program:
+    """Full elementary normalisation pipeline used by the reasoner.
+
+    1. remove duplicate rules;
+    2. split multiple heads;
+    3. isolate existential quantification into linear rules.
+    """
+    return isolate_existentials(split_multiple_heads(remove_duplicate_rules(program)))

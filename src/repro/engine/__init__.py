@@ -1,0 +1,40 @@
+"""Pipeline architecture of the reproduction (Section 4 of the paper)."""
+
+from .annotations import BindingSet, PostDirective, collect_bindings
+from .buffer import BufferCache, BufferSegment
+from .joins import JoinInput, SlotMachineJoin, hash_join
+from .plan import PlanNode, ReasoningAccessPlan, compile_plan
+from .reasoner import ReasoningResult, VadalogReasoner, reason
+from .record_managers import (
+    CsvRecordManager,
+    DatabaseRecordManager,
+    InMemoryRecordManager,
+    RecordManager,
+)
+from .scheduler import RoundRobinScheduler, SchedulerReport
+from .wrappers import TerminationWrapper, WrapperRegistry
+
+__all__ = [
+    "BindingSet",
+    "PostDirective",
+    "collect_bindings",
+    "BufferCache",
+    "BufferSegment",
+    "JoinInput",
+    "SlotMachineJoin",
+    "hash_join",
+    "PlanNode",
+    "ReasoningAccessPlan",
+    "compile_plan",
+    "ReasoningResult",
+    "VadalogReasoner",
+    "reason",
+    "CsvRecordManager",
+    "DatabaseRecordManager",
+    "InMemoryRecordManager",
+    "RecordManager",
+    "RoundRobinScheduler",
+    "SchedulerReport",
+    "TerminationWrapper",
+    "WrapperRegistry",
+]

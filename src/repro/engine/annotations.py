@@ -1,0 +1,124 @@
+"""Annotation handling: ``@input``, ``@output``, ``@bind``, ``@post`` (Section 5).
+
+Annotations are "@"-prefixed facts that inject behaviour:
+
+* ``@input("P").`` / ``@output("P").`` mark predicates as pipeline sources
+  and sinks (the parser already records them on the program);
+* ``@bind("P", "csv", "path.csv").`` binds a predicate to an external source
+  through a record manager (dynamic source binding);
+* ``@mapping("P", 0, "column").`` records a positional→named mapping (kept
+  as metadata, CSV sources are positional already);
+* ``@post("P", "certain").`` / ``@post("P", "sort", 0, 1).`` /
+  ``@post("P", "limit", 10).`` register post-processing directives applied
+  to the answers of an output predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.atoms import Fact
+from ..core.query import AnswerSet
+from ..core.rules import Annotation, Program
+from .record_managers import CsvRecordManager, InMemoryRecordManager, RecordManager
+
+
+class AnnotationError(Exception):
+    """Raised when an annotation is malformed or references unknown resources."""
+
+
+@dataclass
+class PostDirective:
+    """A post-processing directive attached to an output predicate."""
+
+    predicate: str
+    operation: str
+    arguments: Tuple[object, ...] = ()
+
+
+@dataclass
+class BindingSet:
+    """The external bindings and post-processing directives of a program."""
+
+    record_managers: Dict[str, RecordManager] = field(default_factory=dict)
+    post_directives: List[PostDirective] = field(default_factory=list)
+    mappings: Dict[str, Dict[int, str]] = field(default_factory=dict)
+
+
+def collect_bindings(program: Program, base_path: Union[str, Path, None] = None) -> BindingSet:
+    """Interpret the program's annotations into record managers and directives."""
+    base = Path(base_path) if base_path is not None else Path(".")
+    bindings = BindingSet()
+    for annotation in program.annotations:
+        if annotation.name in {"input", "output"}:
+            continue
+        if annotation.name in {"bind", "qbind"}:
+            bindings.record_managers.update(_bind_manager(annotation, base))
+        elif annotation.name == "mapping":
+            _record_mapping(annotation, bindings)
+        elif annotation.name == "post":
+            bindings.post_directives.append(_post_directive(annotation))
+        # Unknown annotations are kept on the program but ignored here.
+    return bindings
+
+
+def _bind_manager(annotation: Annotation, base: Path) -> Dict[str, RecordManager]:
+    if len(annotation.arguments) < 3:
+        raise AnnotationError(
+            f"@{annotation.name} needs (predicate, source-kind, location), got {annotation.arguments}"
+        )
+    predicate, kind, location = (
+        str(annotation.arguments[0]),
+        str(annotation.arguments[1]).lower(),
+        annotation.arguments[2],
+    )
+    if kind == "csv":
+        return {predicate: CsvRecordManager(predicate, base / str(location))}
+    raise AnnotationError(f"unsupported @bind source kind {kind!r}")
+
+
+def _record_mapping(annotation: Annotation, bindings: BindingSet) -> None:
+    if len(annotation.arguments) < 3:
+        raise AnnotationError("@mapping needs (predicate, position, column-name)")
+    predicate = str(annotation.arguments[0])
+    position = int(annotation.arguments[1])  # type: ignore[arg-type]
+    column = str(annotation.arguments[2])
+    bindings.mappings.setdefault(predicate, {})[position] = column
+
+
+def _post_directive(annotation: Annotation) -> PostDirective:
+    if len(annotation.arguments) < 2:
+        raise AnnotationError("@post needs at least (predicate, operation)")
+    predicate = str(annotation.arguments[0])
+    operation = str(annotation.arguments[1]).lower()
+    if operation not in {"certain", "sort", "limit"}:
+        raise AnnotationError(f"unsupported @post operation {operation!r}")
+    return PostDirective(predicate, operation, tuple(annotation.arguments[2:]))
+
+
+def load_bound_facts(bindings: BindingSet) -> List[Fact]:
+    """Materialise the facts of every bound external source."""
+    facts: List[Fact] = []
+    for manager in bindings.record_managers.values():
+        facts.extend(manager.facts())
+    return facts
+
+
+def apply_post_directives(answers: AnswerSet, directives: Sequence[PostDirective]) -> AnswerSet:
+    """Apply post-processing directives to an answer set (in place, returned)."""
+    for directive in directives:
+        facts = answers.facts_by_predicate.get(directive.predicate)
+        if facts is None:
+            continue
+        if directive.operation == "certain":
+            facts = [f for f in facts if not f.has_nulls]
+        elif directive.operation == "sort":
+            positions = [int(a) for a in directive.arguments] or [0]
+            facts = sorted(facts, key=lambda f: tuple(str(f.terms[p]) for p in positions if p < f.arity))
+        elif directive.operation == "limit":
+            limit = int(directive.arguments[0]) if directive.arguments else len(facts)
+            facts = facts[:limit]
+        answers.facts_by_predicate[directive.predicate] = facts
+    return answers

@@ -1,0 +1,155 @@
+"""Fragmented buffer cache (Section 4, "Memory management").
+
+The Vadalog system processes facts fully in memory; the intermediate facts
+produced by each filter live in a *buffer segment* dedicated to that filter.
+Segments paginate their content and evict pages (LRU or LFU) to a swap area
+when a memory budget is exceeded.  This module reproduces that scheme at the
+Python level: eviction moves pages to a ``swap`` dictionary (simulating
+secondary storage) and counters expose hits, misses and evictions so the
+memory-footprint behaviour can be observed in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class BufferStats:
+    """Counters of one buffer segment."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    swap_ins: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "swap_ins": self.swap_ins,
+        }
+
+
+class BufferSegment:
+    """A paginated per-filter buffer with LRU or LFU eviction."""
+
+    def __init__(self, name: str, page_size: int = 64, max_pages: int = 16, policy: str = "lru") -> None:
+        if policy not in {"lru", "lfu"}:
+            raise ValueError("eviction policy must be 'lru' or 'lfu'")
+        self.name = name
+        self.page_size = page_size
+        self.max_pages = max_pages
+        self.policy = policy
+        self.stats = BufferStats()
+        self._pages: "collections.OrderedDict[int, List[object]]" = collections.OrderedDict()
+        self._frequencies: Dict[int, int] = {}
+        self._swap: Dict[int, List[object]] = {}
+        self._count = 0
+
+    # -- writing ---------------------------------------------------------------
+    def append(self, item: object) -> None:
+        page_number = self._count // self.page_size
+        page = self._load_page(page_number, create=True)
+        page.append(item)
+        self._count += 1
+        self._touch(page_number)
+        self._maybe_evict()
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.append(item)
+
+    # -- reading -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[object]:
+        for page_number in range(self.page_count()):
+            yield from self.page(page_number)
+
+    def page_count(self) -> int:
+        return (self._count + self.page_size - 1) // self.page_size
+
+    def page(self, page_number: int) -> List[object]:
+        page = self._load_page(page_number, create=False)
+        self._touch(page_number)
+        self._maybe_evict()
+        return list(page)
+
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def swapped_pages(self) -> int:
+        return len(self._swap)
+
+    # -- internals ----------------------------------------------------------------
+    def _load_page(self, page_number: int, create: bool) -> List[object]:
+        page = self._pages.get(page_number)
+        if page is not None:
+            self.stats.hits += 1
+            return page
+        self.stats.misses += 1
+        if page_number in self._swap:
+            page = self._swap.pop(page_number)
+            self.stats.swap_ins += 1
+        elif create:
+            page = []
+        else:
+            raise KeyError(f"segment {self.name}: page {page_number} does not exist")
+        self._pages[page_number] = page
+        return page
+
+    def _touch(self, page_number: int) -> None:
+        self._frequencies[page_number] = self._frequencies.get(page_number, 0) + 1
+        if page_number in self._pages:
+            self._pages.move_to_end(page_number)
+
+    def _maybe_evict(self) -> None:
+        while len(self._pages) > self.max_pages:
+            victim = self._pick_victim()
+            page = self._pages.pop(victim)
+            self._swap[victim] = page
+            self.stats.evictions += 1
+
+    def _pick_victim(self) -> int:
+        if self.policy == "lru":
+            return next(iter(self._pages))
+        return min(self._pages, key=lambda p: self._frequencies.get(p, 0))
+
+
+class BufferCache:
+    """The collection of all buffer segments (one per filter of the pipeline)."""
+
+    def __init__(self, page_size: int = 64, max_pages_per_segment: int = 16, policy: str = "lru") -> None:
+        self.page_size = page_size
+        self.max_pages_per_segment = max_pages_per_segment
+        self.policy = policy
+        self._segments: Dict[str, BufferSegment] = {}
+
+    def segment(self, name: str) -> BufferSegment:
+        existing = self._segments.get(name)
+        if existing is None:
+            existing = BufferSegment(
+                name,
+                page_size=self.page_size,
+                max_pages=self.max_pages_per_segment,
+                policy=self.policy,
+            )
+            self._segments[name] = existing
+        return existing
+
+    def segments(self) -> Tuple[str, ...]:
+        return tuple(self._segments)
+
+    def total_items(self) -> int:
+        return sum(len(segment) for segment in self._segments.values())
+
+    def total_evictions(self) -> int:
+        return sum(segment.stats.evictions for segment in self._segments.values())
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: segment.stats.as_dict() for name, segment in self._segments.items()}

@@ -1,0 +1,143 @@
+"""The slot-machine join (Section 4, "Slot machine join").
+
+The join technique of the paper is an indexed nested-loop join over a set of
+iterators, one per joined predicate, enhanced with **dynamic in-memory
+indexing**: while an iterator is scanned, a hash index keyed by the join
+attribute is built on the fly; later probes first try the (possibly
+incomplete) index optimistically and fall back to continuing the scan only
+on an index miss.  With hash indexes the cost of the join tends to the
+number of facts of the first predicate.
+
+The implementation below works over arbitrary arity by specifying, for each
+input, which positions form the join key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Fact
+from ..storage.index import HashIndex
+
+
+@dataclass
+class JoinInput:
+    """One side of a slot-machine join: a fact iterator plus its key positions."""
+
+    name: str
+    facts: Iterable[Fact]
+    key_positions: Tuple[int, ...]
+
+    def key_of(self, fact: Fact) -> Hashable:
+        return tuple(fact.terms[i] for i in self.key_positions)
+
+
+@dataclass
+class JoinStats:
+    """Counters describing how a join executed."""
+
+    probes: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    scanned_facts: int = 0
+    output_tuples: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "probes": self.probes,
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+            "scanned_facts": self.scanned_facts,
+            "output_tuples": self.output_tuples,
+        }
+
+
+class _IndexedIterator:
+    """Wraps a fact iterator with a dynamically built hash index on the key."""
+
+    def __init__(self, join_input: JoinInput) -> None:
+        self._input = join_input
+        self._iterator = iter(join_input.facts)
+        self._index: HashIndex[Fact] = HashIndex()
+        self._exhausted = False
+
+    def probe(self, key: Hashable, stats: JoinStats) -> List[Fact]:
+        """Facts whose key equals ``key``, advancing the scan only when needed."""
+        stats.probes += 1
+        cached = self._index.get(key)
+        if cached is not None:
+            stats.index_hits += 1
+            return cached
+        stats.index_misses += 1
+        matches: List[Fact] = []
+        while not self._exhausted:
+            try:
+                fact = next(self._iterator)
+            except StopIteration:
+                self._exhausted = True
+                self._index.mark_complete()
+                break
+            stats.scanned_facts += 1
+            fact_key = self._input.key_of(fact)
+            self._index.insert(fact_key, fact)
+            if fact_key == key:
+                matches.append(fact)
+        return matches
+
+    @property
+    def index(self) -> HashIndex:
+        return self._index
+
+
+class SlotMachineJoin:
+    """N-way join driven by the first input, probing the others via dynamic indexes."""
+
+    def __init__(self, inputs: Sequence[JoinInput]) -> None:
+        if len(inputs) < 2:
+            raise ValueError("a join needs at least two inputs")
+        key_len = len(inputs[0].key_positions)
+        if any(len(i.key_positions) != key_len for i in inputs):
+            raise ValueError("all join inputs must use the same key length")
+        self.inputs = list(inputs)
+        self.stats = JoinStats()
+        self._indexed = [_IndexedIterator(i) for i in self.inputs[1:]]
+
+    def __iter__(self) -> Iterator[Tuple[Fact, ...]]:
+        return self.execute()
+
+    def execute(self) -> Iterator[Tuple[Fact, ...]]:
+        """Yield one tuple of facts (one per input) for every join match."""
+        driver = self.inputs[0]
+        for fact in driver.facts:
+            self.stats.scanned_facts += 1
+            yield from self._probe_rest(0, (fact,), driver.key_of(fact))
+
+    def _probe_rest(
+        self, position: int, prefix: Tuple[Fact, ...], key: Hashable
+    ) -> Iterator[Tuple[Fact, ...]]:
+        if position == len(self._indexed):
+            self.stats.output_tuples += 1
+            yield prefix
+            return
+        for match in self._indexed[position].probe(key, self.stats):
+            yield from self._probe_rest(position + 1, prefix + (match,), key)
+
+    def index_stats(self) -> List[Dict[str, int]]:
+        return [indexed.index.stats.as_dict() for indexed in self._indexed]
+
+
+def hash_join(
+    left: Iterable[Fact],
+    right: Iterable[Fact],
+    left_positions: Tuple[int, ...],
+    right_positions: Tuple[int, ...],
+) -> List[Tuple[Fact, Fact]]:
+    """Simple two-way slot-machine join returning materialised pairs."""
+    join = SlotMachineJoin(
+        [
+            JoinInput("left", left, left_positions),
+            JoinInput("right", right, right_positions),
+        ]
+    )
+    return [(pair[0], pair[1]) for pair in join.execute()]

@@ -1,0 +1,187 @@
+"""Reasoning access plans (Section 4, "Pipeline architecture").
+
+The logic compiler turns a program into a *reasoning access plan*: a logic
+pipeline where every rule corresponds to a filter (node) and there is a pipe
+(edge) from filter ``a`` to filter ``b`` when a body atom of ``b`` unifies
+with the head of ``a``.  Source filters feed extensional predicates into the
+pipeline and sink filters collect the output predicates.
+
+The plan is used by the reasoner to
+
+* order rule applications (a topological order of the condensation of the
+  plan graph, so producers run before consumers and mutually recursive rules
+  stay grouped — the round-robin execution of the scheduler then alternates
+  within each group);
+* detect the *runtime cycles* that the execution model has to manage
+  (Section 4, "Cycle management");
+* power ``explain()``-style introspection in the public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.rules import Program, Rule
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """A filter of the reasoning access plan."""
+
+    name: str
+    kind: str  # "source", "rule" or "sink"
+    rule_label: str = ""
+    predicate: str = ""
+
+    def __str__(self) -> str:
+        detail = self.rule_label or self.predicate
+        return f"{self.kind}:{detail or self.name}"
+
+
+@dataclass
+class ReasoningAccessPlan:
+    """The compiled pipeline: nodes, pipes and derived structural information."""
+
+    nodes: List[PlanNode] = field(default_factory=list)
+    edges: List[Tuple[str, str]] = field(default_factory=list)
+    node_by_name: Dict[str, PlanNode] = field(default_factory=dict)
+
+    def add_node(self, node: PlanNode) -> None:
+        if node.name in self.node_by_name:
+            return
+        self.nodes.append(node)
+        self.node_by_name[node.name] = node
+
+    def add_edge(self, source: str, target: str) -> None:
+        edge = (source, target)
+        if edge not in self.edges:
+            self.edges.append(edge)
+
+    # -- structure ---------------------------------------------------------------
+    def successors(self, name: str) -> List[str]:
+        return [t for s, t in self.edges if s == name]
+
+    def predecessors(self, name: str) -> List[str]:
+        return [s for s, t in self.edges if t == name]
+
+    def sources(self) -> List[PlanNode]:
+        return [n for n in self.nodes if n.kind == "source"]
+
+    def sinks(self) -> List[PlanNode]:
+        return [n for n in self.nodes if n.kind == "sink"]
+
+    def rule_nodes(self) -> List[PlanNode]:
+        return [n for n in self.nodes if n.kind == "rule"]
+
+    def strongly_connected_components(self) -> List[List[str]]:
+        """Tarjan's algorithm; components are returned in reverse topological order."""
+        index_counter = [0]
+        stack: List[str] = []
+        lowlinks: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        components: List[List[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = index_counter[0]
+            lowlinks[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for successor in self.successors(node):
+                if successor not in index:
+                    strongconnect(successor)
+                    lowlinks[node] = min(lowlinks[node], lowlinks[successor])
+                elif successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], index[successor])
+            if lowlinks[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+        for node in self.node_by_name:
+            if node not in index:
+                strongconnect(node)
+        return components
+
+    def recursive_components(self) -> List[List[str]]:
+        """Components containing a cycle (≥ 2 nodes, or a self-loop)."""
+        recursive = []
+        for component in self.strongly_connected_components():
+            if len(component) > 1:
+                recursive.append(component)
+            elif (component[0], component[0]) in self.edges:
+                recursive.append(component)
+        return recursive
+
+    def has_cycles(self) -> bool:
+        return bool(self.recursive_components())
+
+    def topological_rule_order(self, program: Program) -> List[Rule]:
+        """Rules ordered so producers come before consumers where possible.
+
+        The condensation of the plan graph is acyclic; rules are emitted
+        component by component in topological order, preserving the original
+        program order inside each (possibly recursive) component.
+        """
+        components = self.strongly_connected_components()  # reverse topological
+        component_of: Dict[str, int] = {}
+        for position, component in enumerate(components):
+            for name in component:
+                component_of[name] = position
+        rules_by_label = {rule.label: rule for rule in program.rules}
+        labelled_nodes = [n for n in self.nodes if n.kind == "rule"]
+        ordered_nodes = sorted(
+            labelled_nodes,
+            key=lambda n: (-component_of.get(n.name, 0), program.rules.index(rules_by_label[n.rule_label])),
+        )
+        return [rules_by_label[n.rule_label] for n in ordered_nodes if n.rule_label in rules_by_label]
+
+    def describe(self) -> str:
+        """Human-readable description used by ``VadalogReasoner.explain``."""
+        lines = ["Reasoning access plan:"]
+        for node in self.nodes:
+            successors = ", ".join(self.successors(node.name)) or "-"
+            lines.append(f"  {node} -> {successors}")
+        recursive = self.recursive_components()
+        if recursive:
+            lines.append(f"  recursive components: {len(recursive)}")
+        return "\n".join(lines)
+
+
+def compile_plan(program: Program) -> ReasoningAccessPlan:
+    """Compile a program into a reasoning access plan (the logic compiler)."""
+    plan = ReasoningAccessPlan()
+    edb = program.edb_predicates() | set(program.inputs)
+    outputs = program.output_predicates()
+
+    for predicate in sorted(edb):
+        plan.add_node(PlanNode(name=f"source:{predicate}", kind="source", predicate=predicate))
+    for rule in program.rules:
+        plan.add_node(PlanNode(name=f"rule:{rule.label}", kind="rule", rule_label=rule.label))
+    for predicate in sorted(outputs):
+        plan.add_node(PlanNode(name=f"sink:{predicate}", kind="sink", predicate=predicate))
+
+    producers: Dict[str, List[str]] = {}
+    for predicate in edb:
+        producers.setdefault(predicate, []).append(f"source:{predicate}")
+    for rule in program.rules:
+        for predicate in rule.head_predicate_names():
+            producers.setdefault(predicate, []).append(f"rule:{rule.label}")
+
+    for rule in program.rules:
+        consumer = f"rule:{rule.label}"
+        for predicate in rule.body_predicate_names():
+            for producer in producers.get(predicate, []):
+                plan.add_edge(producer, consumer)
+    for predicate in outputs:
+        sink = f"sink:{predicate}"
+        for producer in producers.get(predicate, []):
+            plan.add_edge(producer, sink)
+    return plan

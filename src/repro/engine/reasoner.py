@@ -1,0 +1,264 @@
+"""The Vadalog reasoner facade — the main public entry point of the library.
+
+The reasoner ties the pieces of Section 3 and Section 4 together, following
+the four compilation steps of the pipeline architecture:
+
+1. the **logic optimizer** rewrites the rules: duplicate removal, multiple-
+   head elimination, isolation of existentials into linear rules and, when
+   needed, harmful-join elimination (Section 3.2);
+2. the **logic compiler** produces the reasoning access plan
+   (:mod:`repro.engine.plan`);
+3. the **execution optimizer** orders the rule filters (round-robin order
+   from the scheduler, producers before consumers);
+4. the **query compiler / executor** runs the chase with the warded
+   termination strategy (Algorithm 1) and extracts the answers, applying the
+   post-processing annotations.
+
+Typical usage::
+
+    from repro import VadalogReasoner
+
+    reasoner = VadalogReasoner('''
+        @output("Control").
+        Control(X, Y) :- Own(X, Y, W), W > 0.5.
+        Control(X, Z) :- Control(X, Y), Own(Y, Z, W), V = msum(W, <Y>), V > 0.5.
+    ''')
+    result = reasoner.reason(database={"Own": [("a", "b", 0.6), ("b", "c", 0.6)]})
+    result.answers.ground_tuples("Control")
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.chase import ChaseConfig, ChaseEngine, ChaseResult
+from ..core.harmful_joins import (
+    HarmfulJoinEliminationResult,
+    UnsupportedHarmfulJoin,
+    eliminate_harmful_joins,
+)
+from ..core.atoms import Fact
+from ..core.parser import parse_program
+from ..core.query import AnswerSet, Query, extract_answers
+from ..core.rules import Program
+from ..core.terms import Constant
+from ..core.termination import TerminationStrategy, strategy_by_name
+from ..core.transform import is_auxiliary_predicate, normalize_for_chase
+from ..core.wardedness import ProgramAnalysis, analyse_program
+from ..storage.database import Database
+from .annotations import apply_post_directives, collect_bindings, load_bound_facts
+from .plan import ReasoningAccessPlan, compile_plan
+from .scheduler import RoundRobinScheduler, SchedulerReport
+from .wrappers import WrapperRegistry
+
+DatabaseLike = Union[Database, Mapping[str, Iterable[Sequence[object]]], Iterable[Fact], None]
+
+
+@dataclass
+class ReasoningResult:
+    """Everything produced by one reasoning run."""
+
+    answers: AnswerSet
+    chase: ChaseResult
+    analysis: ProgramAnalysis
+    plan: ReasoningAccessPlan
+    scheduler: SchedulerReport
+    harmful_join_rewriting: Optional[HarmfulJoinEliminationResult]
+    warnings: List[str] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def facts(self, predicate: str) -> Tuple[Fact, ...]:
+        return self.answers.facts(predicate)
+
+    def tuples(self, predicate: str):
+        return self.answers.tuples(predicate)
+
+    def ground_tuples(self, predicate: str):
+        return self.answers.ground_tuples(predicate)
+
+    def stats(self) -> Dict[str, object]:
+        data = dict(self.chase.stats())
+        data.update({f"time_{k}": v for k, v in self.timings.items()})
+        data["warnings"] = list(self.warnings)
+        return data
+
+
+class VadalogReasoner:
+    """High-level reasoner over Vadalog programs (Warded Datalog± core)."""
+
+    def __init__(
+        self,
+        program: Union[Program, str],
+        strategy: Union[str, TerminationStrategy, None] = "warded",
+        eliminate_harmful: bool = True,
+        normalize: bool = True,
+        chase_config: Optional[ChaseConfig] = None,
+        base_path: Optional[str] = None,
+    ) -> None:
+        self.original_program = parse_program(program) if isinstance(program, str) else program
+        self._strategy_spec = strategy
+        self.eliminate_harmful = eliminate_harmful
+        self.normalize = normalize
+        self.chase_config = chase_config or ChaseConfig()
+        self.base_path = base_path
+        self.warnings: List[str] = []
+        self.harmful_join_rewriting: Optional[HarmfulJoinEliminationResult] = None
+
+        self.program = self._optimize(self.original_program)
+        self.analysis = analyse_program(self.program)
+        self.plan = compile_plan(self.program)
+        self.scheduler = RoundRobinScheduler(self.plan, self.program)
+        self.scheduler_report = self.scheduler.schedule()
+        self._order_rules(self.scheduler_report)
+
+    # -------------------------------------------------------------- compilation
+    def _optimize(self, program: Program) -> Program:
+        """Step 1: the logic optimizer (elementary + complex rewritings)."""
+        optimized = program
+        analysis = analyse_program(optimized)
+        if not analysis.is_warded:
+            self.warnings.append(
+                "the program is not warded: termination of the chase is not guaranteed "
+                "by the warded strategy"
+            )
+        if self.eliminate_harmful and analysis.has_harmful_joins:
+            try:
+                rewriting = eliminate_harmful_joins(optimized)
+                self.harmful_join_rewriting = rewriting
+                optimized = rewriting.program
+            except UnsupportedHarmfulJoin as exc:
+                self.warnings.append(
+                    f"harmful-join elimination skipped ({exc}); answers involving "
+                    "labelled nulls joined harmfully may be incomplete"
+                )
+        if self.normalize:
+            optimized = normalize_for_chase(optimized)
+        return optimized
+
+    def _order_rules(self, report: SchedulerReport) -> None:
+        """Step 3: the execution optimizer fixes the round-robin rule order."""
+        if report.rule_order and len(report.rule_order) == len(self.program.rules):
+            self.program.rules = list(report.rule_order)
+
+    def _make_strategy(self) -> TerminationStrategy:
+        if isinstance(self._strategy_spec, TerminationStrategy):
+            return self._strategy_spec
+        if self._strategy_spec is None:
+            return strategy_by_name("warded")
+        return strategy_by_name(self._strategy_spec)
+
+    # ----------------------------------------------------------------- running
+    def reason(
+        self,
+        database: DatabaseLike = None,
+        outputs: Optional[Iterable[str]] = None,
+        certain: bool = False,
+        strategy: Union[str, TerminationStrategy, None] = None,
+    ) -> ReasoningResult:
+        """Run the reasoning task and return answers plus diagnostics."""
+        timings: Dict[str, float] = {}
+        started = time.perf_counter()
+        facts = list(self._database_facts(database))
+        bindings = collect_bindings(self.program, self.base_path)
+        facts.extend(load_bound_facts(bindings))
+        timings["load"] = time.perf_counter() - started
+
+        if strategy is not None:
+            chosen: TerminationStrategy = (
+                strategy if isinstance(strategy, TerminationStrategy) else strategy_by_name(strategy)
+            )
+        else:
+            chosen = self._make_strategy()
+        registry = WrapperRegistry(chosen)
+        for rule in self.program.rules:
+            registry.wrapper_for(f"rule:{rule.label}")
+
+        chase_started = time.perf_counter()
+        engine = ChaseEngine(
+            self.program,
+            facts,
+            strategy=chosen,
+            analysis=self.analysis,
+            config=self.chase_config,
+        )
+        chase_result = engine.run()
+        timings["chase"] = time.perf_counter() - chase_started
+
+        answer_started = time.perf_counter()
+        output_predicates = self._output_predicates(outputs)
+        query = Query(tuple(output_predicates), certain=certain)
+        answers = extract_answers(chase_result, query)
+        answers = apply_post_directives(answers, bindings.post_directives)
+        timings["answers"] = time.perf_counter() - answer_started
+        timings["total"] = time.perf_counter() - started
+
+        return ReasoningResult(
+            answers=answers,
+            chase=chase_result,
+            analysis=self.analysis,
+            plan=self.plan,
+            scheduler=self.scheduler_report,
+            harmful_join_rewriting=self.harmful_join_rewriting,
+            warnings=list(self.warnings),
+            timings=timings,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _output_predicates(self, outputs: Optional[Iterable[str]]) -> List[str]:
+        if outputs is not None:
+            return list(outputs)
+        declared = self.original_program.output_predicates()
+        return sorted(p for p in declared if not is_auxiliary_predicate(p))
+
+    @staticmethod
+    def _database_facts(database: DatabaseLike) -> List[Fact]:
+        if database is None:
+            return []
+        if isinstance(database, Database):
+            return database.facts()
+        if isinstance(database, Mapping):
+            facts: List[Fact] = []
+            for predicate, rows in database.items():
+                for row in rows:
+                    facts.append(Fact(predicate, [Constant(v) for v in row]))
+            return facts
+        return [f for f in database]  # already facts
+
+    def explain(self) -> str:
+        """Human-readable description of the compiled program and plan."""
+        lines = [
+            f"Program: {len(self.program.rules)} rules "
+            f"({self.analysis.fragment()} fragment)",
+        ]
+        summary = self.analysis.summary()
+        lines.append(
+            "  linear rules: {linear_rules}, join rules: {join_rules}, "
+            "existential rules: {existential_rules}, harmful joins: {harmful_joins}".format(**summary)
+        )
+        if self.harmful_join_rewriting and self.harmful_join_rewriting.changed:
+            lines.append(
+                f"  harmful-join elimination introduced "
+                f"{len(self.harmful_join_rewriting.tracking_predicates)} tracking predicates"
+            )
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        lines.append(self.plan.describe())
+        lines.append(
+            "Scheduler: "
+            + ", ".join(f"{k}={v}" for k, v in self.scheduler_report.stats().items())
+        )
+        return "\n".join(lines)
+
+
+def reason(
+    program: Union[Program, str],
+    database: DatabaseLike = None,
+    outputs: Optional[Iterable[str]] = None,
+    certain: bool = False,
+    strategy: Union[str, TerminationStrategy, None] = "warded",
+) -> ReasoningResult:
+    """One-call helper: build a :class:`VadalogReasoner` and run it."""
+    reasoner = VadalogReasoner(program, strategy=strategy)
+    return reasoner.reason(database=database, outputs=outputs, certain=certain)

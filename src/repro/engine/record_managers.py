@@ -1,0 +1,76 @@
+"""Record managers: adapters turning external sources into fact streams.
+
+In the paper's architecture the initial data sources of the pipeline use
+*record managers*, components that adapt external sources (CSV archives,
+relational databases, APIs) and turn streaming input data into facts
+(Section 4, "Execution model").  Two managers are provided here: an
+in-memory one (used by tests and the workload generators) and a CSV one,
+matching the storage used throughout the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..core.atoms import Fact
+from ..core.terms import Constant
+from ..storage.csv_io import load_relation_csv
+from ..storage.database import Database, Relation
+
+
+class RecordManager:
+    """Interface of a record manager: stream facts for one predicate."""
+
+    predicate: str
+
+    def stream(self) -> Iterator[Fact]:
+        raise NotImplementedError
+
+    def facts(self) -> List[Fact]:
+        return list(self.stream())
+
+
+class InMemoryRecordManager(RecordManager):
+    """Serves facts from an in-memory relation or list of tuples."""
+
+    def __init__(self, predicate: str, rows: Iterable[Sequence[object]]) -> None:
+        self.predicate = predicate
+        self._rows = [tuple(row) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def stream(self) -> Iterator[Fact]:
+        for row in self._rows:
+            yield Fact(self.predicate, [Constant(v) for v in row])
+
+
+class CsvRecordManager(RecordManager):
+    """Serves facts from a CSV archive, one tuple per line."""
+
+    def __init__(self, predicate: str, path: Union[str, Path], has_header: bool = False) -> None:
+        self.predicate = predicate
+        self.path = Path(path)
+        self.has_header = has_header
+
+    def stream(self) -> Iterator[Fact]:
+        relation = load_relation_csv(self.path, name=self.predicate, has_header=self.has_header)
+        for row in relation.tuples:
+            yield Fact(self.predicate, [Constant(v) for v in row])
+
+
+class DatabaseRecordManager(RecordManager):
+    """Serves facts for one relation of a :class:`~repro.storage.database.Database`."""
+
+    def __init__(self, predicate: str, database: Database) -> None:
+        self.predicate = predicate
+        self._database = database
+
+    def stream(self) -> Iterator[Fact]:
+        yield from self._database.facts(self.predicate)
+
+
+def managers_for_database(database: Database) -> Dict[str, RecordManager]:
+    """One record manager per relation of a database."""
+    return {name: DatabaseRecordManager(name, database) for name in database.relations()}

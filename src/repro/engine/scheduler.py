@@ -1,0 +1,122 @@
+"""Round-robin pull scheduling and runtime cycle management (Section 4).
+
+The execution model of the Vadalog system is pull-based: sinks issue
+``open()/next()/close()`` messages that propagate backwards through the
+pipeline; when a filter has several predecessors it pulls from them in
+**round-robin** order, which sustains a breadth-first application of the
+rules.  Recursion induces two kinds of cycles:
+
+* *runtime invocation cycles* — a ``next()`` call re-entering a filter that
+  is already serving a ``next()``; the callee answers ``notifyCycle`` and the
+  caller tries its other predecessors before giving up (``cyclic miss`` vs
+  ``real miss``);
+* *non-terminating sequences* — handled by the termination wrappers.
+
+The scheduler here drives a materialisation run over a
+:class:`~repro.engine.plan.ReasoningAccessPlan`: it fixes the round-robin
+rule order used by the chase engine and records the invocation-cycle events
+that the pull protocol would produce, which tests and the architecture
+benchmarks inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.rules import Program, Rule
+from .plan import ReasoningAccessPlan
+
+
+@dataclass
+class PullEvent:
+    """One recorded event of the pull protocol (for tracing and tests)."""
+
+    caller: str
+    callee: str
+    kind: str  # "next", "cyclic-miss" or "real-miss"
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of a scheduling pass over the plan."""
+
+    rule_order: List[Rule] = field(default_factory=list)
+    events: List[PullEvent] = field(default_factory=list)
+    cyclic_misses: int = 0
+    real_misses: int = 0
+    recursive_components: int = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "rules": len(self.rule_order),
+            "pull_events": len(self.events),
+            "cyclic_misses": self.cyclic_misses,
+            "real_misses": self.real_misses,
+            "recursive_components": self.recursive_components,
+        }
+
+
+class RoundRobinScheduler:
+    """Derives the rule application order and simulates the pull protocol."""
+
+    def __init__(self, plan: ReasoningAccessPlan, program: Program) -> None:
+        self.plan = plan
+        self.program = program
+
+    def schedule(self) -> SchedulerReport:
+        """Compute the round-robin rule order and trace one pull sweep."""
+        report = SchedulerReport()
+        report.rule_order = self.plan.topological_rule_order(self.program)
+        report.recursive_components = len(self.plan.recursive_components())
+        self._trace_pull(report)
+        return report
+
+    # ------------------------------------------------------------------ tracing
+    def _trace_pull(self, report: SchedulerReport) -> None:
+        """Simulate one ``next()`` sweep initiated by every sink.
+
+        Each node pulls from its predecessors in round-robin (plan) order.  A
+        predecessor already on the current invocation stack answers with a
+        cyclic miss (``notifyCycle``); a source node always answers
+        positively; a node none of whose predecessors could answer reports a
+        real miss.
+        """
+        for sink in self.plan.sinks():
+            self._pull(sink.name, [], report, set())
+
+    def _pull(
+        self,
+        node_name: str,
+        stack: List[str],
+        report: SchedulerReport,
+        satisfied: Set[str],
+    ) -> bool:
+        node = self.plan.node_by_name[node_name]
+        if node.kind == "source":
+            return True
+        if node_name in satisfied:
+            return True
+        predecessors = self.plan.predecessors(node_name)
+        if not predecessors:
+            report.real_misses += 1
+            return False
+        any_answer = False
+        for predecessor in predecessors:
+            if predecessor in stack:
+                report.events.append(PullEvent(node_name, predecessor, "cyclic-miss"))
+                report.cyclic_misses += 1
+                continue
+            report.events.append(PullEvent(node_name, predecessor, "next"))
+            answered = self._pull(predecessor, stack + [node_name], report, satisfied)
+            any_answer = any_answer or answered
+        if any_answer:
+            satisfied.add(node_name)
+        else:
+            report.events.append(PullEvent(node_name, node_name, "real-miss"))
+            report.real_misses += 1
+        return any_answer
+
+    def rule_order(self) -> List[Rule]:
+        """Just the round-robin rule order (producers before consumers)."""
+        return self.plan.topological_rule_order(self.program)

@@ -1,0 +1,71 @@
+"""Termination-strategy wrappers (Section 4, "Cycle management").
+
+Every filter of the pipeline is wrapped by a component that, whenever the
+filter pre-loads a candidate fact, issues a ``checkTermination`` message to
+its local termination wrapper; if the check is negative the fact is
+discarded because it would lead to non-termination.  The wrapper also owns
+the fact/ground/summary structures of Section 3.4 — in this code base those
+live inside the shared :class:`~repro.core.termination.TerminationStrategy`,
+which the wrappers delegate to so that all filters see a consistent view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.forests import ChaseNode
+from ..core.termination import TerminationStrategy
+
+
+@dataclass
+class WrapperStats:
+    """Per-filter counters of termination checks."""
+
+    checks: int = 0
+    accepted: int = 0
+    discarded: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "checks": self.checks,
+            "accepted": self.accepted,
+            "discarded": self.discarded,
+        }
+
+
+class TerminationWrapper:
+    """Per-filter façade over the shared termination strategy."""
+
+    def __init__(self, filter_name: str, strategy: TerminationStrategy) -> None:
+        self.filter_name = filter_name
+        self.strategy = strategy
+        self.stats = WrapperStats()
+
+    def check_termination(self, node: ChaseNode) -> bool:
+        """``checkTermination(A(c))``: may the pre-loaded fact be consumed?"""
+        self.stats.checks += 1
+        admitted = self.strategy.admit(node)
+        if admitted:
+            self.stats.accepted += 1
+        else:
+            self.stats.discarded += 1
+        return admitted
+
+
+class WrapperRegistry:
+    """Creates and tracks one wrapper per filter, sharing a single strategy."""
+
+    def __init__(self, strategy: TerminationStrategy) -> None:
+        self.strategy = strategy
+        self._wrappers: Dict[str, TerminationWrapper] = {}
+
+    def wrapper_for(self, filter_name: str) -> TerminationWrapper:
+        wrapper = self._wrappers.get(filter_name)
+        if wrapper is None:
+            wrapper = TerminationWrapper(filter_name, self.strategy)
+            self._wrappers[filter_name] = wrapper
+        return wrapper
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: wrapper.stats.as_dict() for name, wrapper in self._wrappers.items()}

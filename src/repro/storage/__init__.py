@@ -1,0 +1,7 @@
+"""Storage substrate: databases, relations, hash indexes and CSV adapters."""
+
+from .database import Database, Relation
+from .index import HashIndex
+from .csv_io import load_relation_csv, save_relation_csv
+
+__all__ = ["Database", "Relation", "HashIndex", "load_relation_csv", "save_relation_csv"]

@@ -1,0 +1,124 @@
+"""Extensional databases: named relations of ground tuples.
+
+The paper's evaluation reads the extensional data from plain CSV archives so
+that the measured times reflect the reasoner rather than a storage back-end
+(Section 6, "Test setup").  The :class:`Database` class mirrors that setup:
+a dictionary of :class:`Relation` objects holding plain Python tuples, with
+converters to and from the :class:`~repro.core.atoms.Fact` representation
+used by the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Fact
+from ..core.terms import Constant
+
+
+@dataclass
+class Relation:
+    """A named relation: a list of same-arity tuples of plain Python values."""
+
+    name: str
+    arity: int
+    tuples: List[Tuple[object, ...]] = field(default_factory=list)
+
+    def add(self, row: Sequence[object]) -> None:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self.arity}, got a tuple of {len(row)}"
+            )
+        self.tuples.append(row)
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add(row)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self.tuples)
+
+    def facts(self) -> List[Fact]:
+        """The relation as facts over constants."""
+        return [Fact(self.name, [Constant(v) for v in row]) for row in self.tuples]
+
+    def distinct(self) -> "Relation":
+        seen: Dict[Tuple[object, ...], None] = {}
+        for row in self.tuples:
+            seen.setdefault(row, None)
+        return Relation(self.name, self.arity, list(seen))
+
+
+class Database:
+    """A collection of relations, i.e. the extensional database D."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+
+    # -- building --------------------------------------------------------------
+    def relation(self, name: str, arity: Optional[int] = None) -> Relation:
+        """Get (or create, when ``arity`` is given) a relation by name."""
+        existing = self._relations.get(name)
+        if existing is not None:
+            return existing
+        if arity is None:
+            raise KeyError(f"relation {name!r} does not exist")
+        created = Relation(name, arity)
+        self._relations[name] = created
+        return created
+
+    def add_tuple(self, name: str, row: Sequence[object]) -> None:
+        self.relation(name, len(tuple(row))).add(row)
+
+    def add_tuples(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+        rows = list(rows)
+        if not rows:
+            return
+        relation = self.relation(name, len(tuple(rows[0])))
+        relation.extend(rows)
+
+    def add_facts(self, facts: Iterable[Fact]) -> None:
+        for fact in facts:
+            self.add_tuple(fact.predicate, fact.values())
+
+    # -- access ----------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relations(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def facts(self, name: Optional[str] = None) -> List[Fact]:
+        """Facts of one relation, or of the whole database."""
+        if name is not None:
+            return self._relations[name].facts() if name in self._relations else []
+        result: List[Fact] = []
+        for relation in self._relations.values():
+            result.extend(relation.facts())
+        return result
+
+    def size(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            return len(self._relations.get(name, ()))
+        return sum(len(r) for r in self._relations.values())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Fact]) -> "Database":
+        database = cls()
+        database.add_facts(facts)
+        return database
+
+    @classmethod
+    def from_dict(cls, relations: Dict[str, Iterable[Sequence[object]]]) -> "Database":
+        database = cls()
+        for name, rows in relations.items():
+            database.add_tuples(name, rows)
+        return database

@@ -1,0 +1,81 @@
+"""Dynamic in-memory hash indexes (Section 4, "Slot machine join").
+
+The slot-machine join builds hash indexes *while scanning*: there is no
+persistent pre-computed index, the index grows as facts stream through the
+operator and can be consulted optimistically even while incomplete (an index
+miss on an incomplete index falls back to a scan).  :class:`HashIndex`
+captures exactly that behaviour and reports hit/miss statistics used by the
+join operator and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class IndexStats:
+    """Access counters of a dynamic index."""
+
+    inserts: int = 0
+    hits: int = 0
+    misses: int = 0
+    fallback_scans: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "inserts": self.inserts,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fallback_scans": self.fallback_scans,
+        }
+
+
+class HashIndex(Generic[T]):
+    """A dynamically built hash index from keys to lists of items."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Hashable, List[T]] = {}
+        self._complete = False
+        self.stats = IndexStats()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def complete(self) -> bool:
+        """Whether the index has seen every item of the underlying stream."""
+        return self._complete
+
+    def mark_complete(self) -> None:
+        self._complete = True
+
+    def insert(self, key: Hashable, item: T) -> None:
+        self._buckets.setdefault(key, []).append(item)
+        self.stats.inserts += 1
+
+    def get(self, key: Hashable) -> Optional[List[T]]:
+        """Optimistic lookup: ``None`` signals an index miss.
+
+        On a complete index a miss means "no matching item"; on an incomplete
+        index the caller must fall back to scanning the remaining input.
+        """
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            self.stats.hits += 1
+            return list(bucket)
+        self.stats.misses += 1
+        if self._complete:
+            return []
+        return None
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        return tuple(self._buckets)
+
+    def bulk_load(self, items: Iterable[Tuple[Hashable, T]]) -> None:
+        for key, item in items:
+            self.insert(key, item)
+        self.mark_complete()

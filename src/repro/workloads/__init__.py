@@ -1,0 +1,48 @@
+"""Workload and scenario generators for the experimental evaluation (Section 6)."""
+
+from .scenario import Scenario
+from .iwarded import IWardedConfig, SCENARIO_CONFIGS, generate_iwarded, iwarded_scenario
+from .dbpedia import (
+    generate_company_graph,
+    psc_scenario,
+    allpsc_scenario,
+    strong_links_scenario,
+)
+from .companies import (
+    ScaleFreeConfig,
+    generate_ownership_graph,
+    control_scenario,
+    company_control_program,
+)
+from .ibench import ibench_scenario
+from .chasebench import doctors_scenario, doctors_fd_scenario, lubm_scenario
+from .scaling import (
+    dbsize_scenario,
+    rule_count_scenario,
+    atom_count_scenario,
+    arity_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "IWardedConfig",
+    "SCENARIO_CONFIGS",
+    "generate_iwarded",
+    "iwarded_scenario",
+    "generate_company_graph",
+    "psc_scenario",
+    "allpsc_scenario",
+    "strong_links_scenario",
+    "ScaleFreeConfig",
+    "generate_ownership_graph",
+    "control_scenario",
+    "company_control_program",
+    "ibench_scenario",
+    "doctors_scenario",
+    "doctors_fd_scenario",
+    "lubm_scenario",
+    "dbsize_scenario",
+    "rule_count_scenario",
+    "atom_count_scenario",
+    "arity_scenario",
+]

@@ -1,0 +1,181 @@
+"""ChaseBench-style scenarios: Doctors, DoctorsFD and LUBM (Section 6.5).
+
+These scenarios are "warded by chance": mostly harmless joins and no
+propagation of labelled nulls, i.e. typical data-exchange / pure-Datalog
+settings where the warded machinery gives no special advantage.  The paper
+uses them to show the Vadalog system is also competitive as a general
+chase / query-answering engine.
+
+* **Doctors** — a classic schema-mapping scenario from the data-exchange
+  literature: source relations about doctors, hospitals and prescriptions
+  mapped into a target schema by non-recursive s-t TGDs with existentials.
+* **DoctorsFD** — the same mapping plus functional dependencies on the
+  target, expressed as EGDs.
+* **LUBM** — the Lehigh University Benchmark: a university-domain ontology;
+  we include the core subset of its class hierarchy / transitive rules that
+  the 14 standard queries exercise, with a parametric data generator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..core.parser import parse_program
+from ..storage.database import Database
+from .scenario import Scenario
+
+DOCTORS_PROGRAM = """
+@output("Doctor").
+@output("Prescription").
+@output("Hospital").
+Doctor(N, S, H) :- Person(N, S), WorksAt(N, H).
+Hospital(H, C) :- HospitalInfo(H, C).
+Prescription(I, N, M) :- Prescribes(N, M, I).
+Treatment(I, P, M) :- Prescription(I, N, M), TreatedBy(P, N).
+TargetPatient(P, D) :- TreatedBy(P, N), Doctor(N, S, H), D = N.
+"""
+
+DOCTORS_FD_PROGRAM = DOCTORS_PROGRAM + """
+S1 = S2 :- Doctor(N, S1, H1), Doctor(N, S2, H2).
+C1 = C2 :- Hospital(H, C1), Hospital(H, C2).
+"""
+
+LUBM_PROGRAM = """
+@output("Professor").
+@output("Student").
+@output("Person").
+@output("MemberOf").
+@output("TakesCourseAtDept").
+Professor(X) :- FullProfessor(X).
+Professor(X) :- AssociateProfessor(X).
+Professor(X) :- AssistantProfessor(X).
+Faculty(X) :- Professor(X).
+Faculty(X) :- Lecturer(X).
+Person(X) :- Faculty(X).
+Person(X) :- Student(X).
+Student(X) :- UndergraduateStudent(X).
+Student(X) :- GraduateStudent(X).
+MemberOf(X, D) :- WorksFor(X, D).
+MemberOf(X, D) :- StudentOf(X, D).
+SubOrganizationOf(X, Z) :- SubOrganizationOf(X, Y), SubOrganizationOf(Y, Z).
+MemberOf(X, U) :- MemberOf(X, D), SubOrganizationOf(D, U).
+TeacherOf(P, C) :- Teaches(P, C), Professor(P).
+TakesCourseAtDept(S, C, D) :- TakesCourse(S, C), TeacherOf(P, C), WorksFor(P, D).
+Advisor(S, P) :- AdvisedBy(S, P), Professor(P).
+HeadOf(P, D) :- Chairs(P, D), WorksFor(P, D).
+"""
+
+
+def doctors_database(n_facts: int, seed: int = 41) -> Database:
+    """Generate a Doctors source instance with roughly ``n_facts`` facts."""
+    rng = random.Random(seed)
+    database = Database()
+    n_doctors = max(5, n_facts // 5)
+    n_patients = max(5, n_facts // 4)
+    n_hospitals = max(3, n_facts // 20)
+    doctors = [f"doc{i}" for i in range(n_doctors)]
+    patients = [f"pat{i}" for i in range(n_patients)]
+    hospitals = [f"hosp{i}" for i in range(n_hospitals)]
+    medicines = [f"med{i}" for i in range(max(3, n_facts // 10))]
+
+    database.add_tuples("Person", [(d, f"spec{i % 7}") for i, d in enumerate(doctors)])
+    database.add_tuples("WorksAt", [(d, rng.choice(hospitals)) for d in doctors])
+    database.add_tuples("HospitalInfo", [(h, f"city{i % 5}") for i, h in enumerate(hospitals)])
+    database.add_tuples(
+        "Prescribes",
+        [
+            (rng.choice(doctors), rng.choice(medicines), f"rx{i}")
+            for i in range(max(5, n_facts // 3))
+        ],
+    )
+    database.add_tuples(
+        "TreatedBy", [(p, rng.choice(doctors)) for p in patients]
+    )
+    return database
+
+
+def doctors_scenario(n_facts: int = 500, seed: int = 41) -> Scenario:
+    """The Doctors mapping scenario."""
+    return Scenario(
+        name="doctors",
+        program=parse_program(DOCTORS_PROGRAM),
+        database=doctors_database(n_facts, seed),
+        outputs=("Doctor", "Prescription", "Hospital"),
+        description="Doctors schema-mapping scenario (data exchange literature)",
+        params={"source_facts": n_facts},
+    )
+
+
+def doctors_fd_scenario(n_facts: int = 500, seed: int = 41) -> Scenario:
+    """The DoctorsFD scenario: the Doctors mapping plus target EGDs."""
+    return Scenario(
+        name="doctors-fd",
+        program=parse_program(DOCTORS_FD_PROGRAM),
+        database=doctors_database(n_facts, seed),
+        outputs=("Doctor", "Prescription", "Hospital"),
+        description="Doctors scenario with functional dependencies (EGDs) on the target",
+        params={"source_facts": n_facts},
+    )
+
+
+def lubm_database(n_facts: int, seed: int = 43) -> Database:
+    """Generate a LUBM-like university instance with roughly ``n_facts`` facts."""
+    rng = random.Random(seed)
+    database = Database()
+    n_universities = max(1, n_facts // 400)
+    n_departments = max(3, n_facts // 60)
+    n_professors = max(5, n_facts // 15)
+    n_students = max(10, n_facts // 4)
+    n_courses = max(5, n_facts // 20)
+
+    universities = [f"univ{i}" for i in range(n_universities)]
+    departments = [f"dept{i}" for i in range(n_departments)]
+    professors = [f"prof{i}" for i in range(n_professors)]
+    students = [f"stud{i}" for i in range(n_students)]
+    courses = [f"course{i}" for i in range(n_courses)]
+
+    database.add_tuples(
+        "SubOrganizationOf", [(d, rng.choice(universities)) for d in departments]
+    )
+    database.add_tuples(
+        "FullProfessor", [(p,) for p in professors if rng.random() < 0.3]
+    )
+    database.add_tuples(
+        "AssociateProfessor", [(p,) for p in professors if rng.random() < 0.3]
+    )
+    database.add_tuples(
+        "AssistantProfessor",
+        [(p,) for p in professors if rng.random() < 0.3] or [(professors[0],)],
+    )
+    database.add_tuples("Lecturer", [(p,) for p in professors if rng.random() < 0.1])
+    database.add_tuples("WorksFor", [(p, rng.choice(departments)) for p in professors])
+    database.add_tuples(
+        "UndergraduateStudent", [(s,) for s in students if rng.random() < 0.7]
+    )
+    database.add_tuples(
+        "GraduateStudent", [(s,) for s in students if rng.random() < 0.3] or [(students[0],)]
+    )
+    database.add_tuples("StudentOf", [(s, rng.choice(departments)) for s in students])
+    database.add_tuples("Teaches", [(rng.choice(professors), c) for c in courses])
+    database.add_tuples(
+        "TakesCourse",
+        [(rng.choice(students), rng.choice(courses)) for _ in range(max(10, n_facts // 3))],
+    )
+    database.add_tuples(
+        "AdvisedBy", [(s, rng.choice(professors)) for s in students if rng.random() < 0.4]
+    )
+    database.add_tuples("Chairs", [(rng.choice(professors), d) for d in departments])
+    return database
+
+
+def lubm_scenario(n_facts: int = 1000, seed: int = 43) -> Scenario:
+    """The LUBM-like university scenario."""
+    return Scenario(
+        name="lubm",
+        program=parse_program(LUBM_PROGRAM),
+        database=lubm_database(n_facts, seed),
+        outputs=("Professor", "Student", "Person", "MemberOf", "TakesCourseAtDept"),
+        description="Lehigh University Benchmark (LUBM) style ontology reasoning",
+        params={"source_facts": n_facts},
+    )

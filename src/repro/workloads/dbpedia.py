@@ -1,0 +1,165 @@
+"""DBpedia-style company/person reasoning scenarios (Section 6.3).
+
+The paper extracts from DBpedia the relations ``Control(company, company)``
+(from ``dbo:parentCompany``) and ``KeyPerson(company, person)`` (from
+``dbo:keyPerson``) plus the ``Company`` and ``Person`` unary relations, and
+runs four reasoning tasks on them: PSC, AllPSC, SpecStrongLinks and
+AllStrongLinks (Examples 11-13).
+
+DBpedia itself is not available offline, so :func:`generate_company_graph`
+produces a synthetic dataset with the same schema and comparable shape:
+control edges form a forest of chains/trees (companies have at most a few
+parents, control chains can be long) and key persons are attached to a
+subset of companies with a small fan-out, which is what drives the
+transitive-closure behaviour the experiments measure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..core.parser import parse_program
+from ..storage.database import Database
+from .scenario import Scenario
+
+PSC_PROGRAM = """
+@output("PSC").
+PSC(X, P) :- KeyPerson(X, P), Person(P).
+PSC(X, P) :- Control(Y, X), PSC(Y, P).
+"""
+
+ALLPSC_PROGRAM = """
+@output("PSCSet").
+PSCSet(X, J) :- KeyPerson(X, P), Person(P), J = munion(P).
+PSCSet(X, J) :- Control(Y, X), PSC(Y, P), J = munion(P).
+PSC(X, P) :- KeyPerson(X, P), Person(P).
+PSC(X, P) :- Control(Y, X), PSC(Y, P).
+"""
+
+STRONG_LINKS_PROGRAM_TEMPLATE = """
+@output("StrongLink").
+PSC(X, P) :- KeyPerson(X, P).
+PSC(X, P) :- Company(X).
+PSC(X, P) :- Control(Y, X), PSC(Y, P).
+StrongLink(X, Y, W) :- PSC(X, P), PSC(Y, P), X > Y, W = mcount(P), W >= {threshold}.
+"""
+
+
+def generate_company_graph(
+    n_companies: int,
+    n_persons: int,
+    seed: int = 11,
+    chain_length: int = 8,
+    key_person_ratio: float = 0.6,
+) -> Database:
+    """Generate a synthetic DBpedia-like company/person graph.
+
+    * companies are organised in control chains/trees of average depth
+      ``chain_length`` (long control chains are what makes the PSC closure
+      expensive, as in the real DBpedia extract);
+    * roughly ``key_person_ratio`` of the companies have at least one key
+      person; persons may be shared between companies (which is what produces
+      strong links).
+    """
+    rng = random.Random(seed)
+    database = Database()
+    companies = [f"company{i}" for i in range(n_companies)]
+    persons = [f"person{i}" for i in range(max(1, n_persons))]
+
+    database.add_tuples("Company", [(c,) for c in companies])
+    database.add_tuples("Person", [(p,) for p in persons])
+
+    control_rows: List[Tuple[str, str]] = []
+    for index, company in enumerate(companies):
+        if index == 0:
+            continue
+        if index % chain_length == 0:
+            # Start of a new chain: attach to a random earlier root to form a tree.
+            parent = companies[rng.randrange(0, max(1, index // chain_length))]
+        else:
+            parent = companies[index - 1]
+        control_rows.append((parent, company))
+        # A small fraction of companies have a second controller.
+        if rng.random() < 0.08 and index > 2:
+            control_rows.append((companies[rng.randrange(0, index - 1)], company))
+    database.add_tuples("Control", sorted(set(control_rows)))
+
+    key_rows: List[Tuple[str, str]] = []
+    for company in companies:
+        if rng.random() < key_person_ratio:
+            for _ in range(1 + (rng.random() < 0.25)):
+                key_rows.append((company, rng.choice(persons)))
+    database.add_tuples("KeyPerson", sorted(set(key_rows)))
+    return database
+
+
+def psc_scenario(
+    n_companies: int = 200, n_persons: int = 400, seed: int = 11
+) -> Scenario:
+    """The PSC scenario (Example 11): persons with significant control."""
+    database = generate_company_graph(n_companies, n_persons, seed=seed)
+    return Scenario(
+        name="dbpedia-psc",
+        program=parse_program(PSC_PROGRAM),
+        database=database,
+        outputs=("PSC",),
+        description="Persons with significant control over DBpedia-like companies",
+        params={"companies": n_companies, "persons": n_persons},
+    )
+
+
+def allpsc_scenario(
+    n_companies: int = 200, n_persons: int = 400, seed: int = 11
+) -> Scenario:
+    """The AllPSC scenario (Example 12): group all PSC of a company with munion."""
+    database = generate_company_graph(n_companies, n_persons, seed=seed)
+    return Scenario(
+        name="dbpedia-allpsc",
+        program=parse_program(ALLPSC_PROGRAM),
+        database=database,
+        outputs=("PSCSet",),
+        description="All PSC of each company grouped in a single set",
+        params={"companies": n_companies, "persons": n_persons},
+    )
+
+
+def strong_links_scenario(
+    n_companies: int = 120,
+    n_persons: int = 100,
+    threshold: int = 1,
+    specific_company: Optional[str] = None,
+    seed: int = 11,
+) -> Scenario:
+    """The SpecStrongLinks / AllStrongLinks scenarios (Example 13).
+
+    ``threshold`` is the minimum number of shared PSC (the paper uses N=1 for
+    the single-company variant and N=3 for the all-pairs variant).  When
+    ``specific_company`` is given, the scenario asks only for the strong links
+    of that company (SpecStrongLinks); otherwise all pairs are requested
+    (AllStrongLinks).
+    """
+    database = generate_company_graph(
+        n_companies, n_persons, seed=seed, key_person_ratio=0.8
+    )
+    text = STRONG_LINKS_PROGRAM_TEMPLATE.format(threshold=threshold)
+    if specific_company is not None:
+        text += f'\nSpecLink(Y, W) :- StrongLink("{specific_company}", Y, W).\n'
+        text += f'SpecLink(X, W) :- StrongLink(X, "{specific_company}", W).\n'
+        text += '@output("SpecLink").\n'
+    program = parse_program(text)
+    outputs = ("SpecLink",) if specific_company is not None else ("StrongLink",)
+    name = "dbpedia-specstronglinks" if specific_company else "dbpedia-allstronglinks"
+    return Scenario(
+        name=name,
+        program=program,
+        database=database,
+        outputs=outputs,
+        description="Strong links between companies sharing persons of significant control",
+        params={
+            "companies": n_companies,
+            "persons": n_persons,
+            "threshold": threshold,
+            "specific_company": specific_company,
+        },
+    )

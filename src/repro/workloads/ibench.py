@@ -1,0 +1,197 @@
+"""iBench-style data-integration scenarios: STB-128 and ONT-256 (Section 6.2).
+
+iBench generates large, complex data-integration rule sets.  The two
+scenarios the paper uses (STB-128 and ONT-256, as packaged by ChaseBench)
+are characterised by:
+
+===============  =========  =========
+property          STB-128    ONT-256
+===============  =========  =========
+rules              ~250       ~789
+existential rules   25%        35%
+harmful joins        15        295
+null propagations    30       >300
+source predicates   112        220
+facts/predicate    1000       1000
+===============  =========  =========
+
+This generator reproduces those structural statistics at a configurable
+scale: the default sizes are reduced (Python-friendly) but keep the same
+proportions, so the relative behaviour of the engines — which is what the
+experiment compares — is preserved.  Rules are organised in layered "mapping
+chains" (source → intermediate → target) with recursion inside the
+intermediate layer, existential invention of target identifiers and warded
+propagation of the invented values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.atoms import Atom
+from ..core.rules import Program, Rule
+from ..core.terms import Variable
+from ..storage.database import Database
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class IBenchConfig:
+    """Scale parameters of an iBench-like scenario."""
+
+    name: str
+    chains: int
+    chain_length: int
+    existential_ratio: float
+    harmful_joins: int
+    recursive_ratio: float
+    source_facts: int
+    seed: int = 31
+
+
+STB_128 = IBenchConfig(
+    name="STB-128",
+    chains=16,
+    chain_length=4,
+    existential_ratio=0.25,
+    harmful_joins=3,
+    recursive_ratio=0.2,
+    source_facts=60,
+)
+
+ONT_256 = IBenchConfig(
+    name="ONT-256",
+    chains=28,
+    chain_length=5,
+    existential_ratio=0.35,
+    harmful_joins=6,
+    recursive_ratio=0.25,
+    source_facts=60,
+)
+
+
+def generate_ibench(config: IBenchConfig) -> Tuple[Program, Database]:
+    """Generate an iBench-like warded integration scenario."""
+    rng = random.Random(config.seed)
+    program = Program()
+    x, y, z, p = Variable("X"), Variable("Y"), Variable("Z"), Variable("P")
+
+    source_preds: List[str] = []
+    target_preds: List[str] = []
+    affected_targets: List[str] = []
+
+    rule_index = 0
+    for chain in range(config.chains):
+        source = f"Src{chain}"
+        source_preds.append(source)
+        previous = source
+        previous_affected = False
+        for layer in range(config.chain_length):
+            target = f"T{chain}_{layer}"
+            target_preds.append(target)
+            label = f"m{rule_index}"
+            rule_index += 1
+            make_existential = rng.random() < config.existential_ratio
+            if make_existential:
+                # Source tuple generates a target tuple with an invented value
+                # that is then propagated (warded) further down the chain.
+                program.add_rule(
+                    Rule(
+                        body=(Atom(previous, (x, y)),),
+                        head=(Atom(target, (x, p)),),
+                        label=label,
+                    )
+                )
+                affected_targets.append(target)
+                previous_affected = True
+            elif previous_affected:
+                # Warded propagation of the invented identifier through a join
+                # with a ground source relation.
+                program.add_rule(
+                    Rule(
+                        body=(Atom(previous, (x, p)), Atom(source, (x, y))),
+                        head=(Atom(target, (y, p)),),
+                        label=label,
+                    )
+                )
+                affected_targets.append(target)
+            else:
+                program.add_rule(
+                    Rule(
+                        body=(Atom(previous, (x, y)), Atom(source, (y, z))),
+                        head=(Atom(target, (x, z)),),
+                        label=label,
+                    )
+                )
+            if rng.random() < config.recursive_ratio and not previous_affected:
+                # Recursive closure inside the chain (pervasive recursion).
+                program.add_rule(
+                    Rule(
+                        body=(Atom(target, (x, y)), Atom(target, (y, z))),
+                        head=(Atom(target, (x, z)),),
+                        label=f"m{rule_index}",
+                    )
+                )
+                rule_index += 1
+            previous = target
+
+    # Harmful joins: strong-link style rules over affected target predicates.
+    for index in range(config.harmful_joins):
+        if len(affected_targets) < 2:
+            break
+        first, second = rng.sample(affected_targets, 2)
+        program.add_rule(
+            Rule(
+                body=(Atom(first, (x, p)), Atom(second, (y, p))),
+                head=(Atom(f"Link{index}", (x, y)),),
+                label=f"hj{index}",
+            )
+        )
+
+    program.outputs = set(target_preds) | {
+        f"Link{i}" for i in range(config.harmful_joins)
+    }
+
+    database = Database()
+    domain = max(20, config.source_facts // 2)
+    for source in source_preds:
+        rows = set()
+        while len(rows) < config.source_facts:
+            rows.add((f"s{rng.randrange(domain)}", f"s{rng.randrange(domain)}"))
+        database.add_tuples(source, sorted(rows))
+    return program, database
+
+
+def ibench_scenario(name: str = "STB-128", source_facts: int | None = None) -> Scenario:
+    """Build the STB-128-like or ONT-256-like scenario."""
+    config = {"STB-128": STB_128, "ONT-256": ONT_256}.get(name)
+    if config is None:
+        raise KeyError(f"unknown iBench scenario {name!r}; known: STB-128, ONT-256")
+    if source_facts is not None:
+        config = IBenchConfig(
+            name=config.name,
+            chains=config.chains,
+            chain_length=config.chain_length,
+            existential_ratio=config.existential_ratio,
+            harmful_joins=config.harmful_joins,
+            recursive_ratio=config.recursive_ratio,
+            source_facts=source_facts,
+            seed=config.seed,
+        )
+    program, database = generate_ibench(config)
+    return Scenario(
+        name=f"ibench-{name.lower()}",
+        program=program,
+        database=database,
+        outputs=tuple(sorted(program.outputs)),
+        description=f"iBench-like integration scenario {name}",
+        params={
+            "chains": config.chains,
+            "chain_length": config.chain_length,
+            "existential_ratio": config.existential_ratio,
+            "harmful_joins": config.harmful_joins,
+            "source_facts": config.source_facts,
+        },
+    )

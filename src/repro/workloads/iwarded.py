@@ -1,0 +1,271 @@
+"""iWarded: a generator of synthetic warded scenarios (Section 6.1, Figure 6).
+
+The paper's iWarded tool generates sets of warded rules controlling the
+internals relevant to Warded Datalog±: the number of linear and non-linear
+rules, how many of each are recursive, how many rules carry existential
+quantification, and the mix of join kinds — harmless-harmless joins through
+a ward, harmless-harmless joins without a ward, and harmful-harmful joins.
+
+This module reproduces that generator.  Rules are built over two predicate
+families:
+
+* ``G_i`` — "ground" binary predicates whose positions are never affected;
+* ``A_i`` — binary predicates whose second position is affected (it receives
+  labelled nulls from existential rules and propagates them).
+
+The eight scenario configurations of Figure 6 (synthA … synthH) are available
+in :data:`SCENARIO_CONFIGS`; every scenario uses 100 rules and a common
+multi-query that activates all of them, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.atoms import Atom
+from ..core.rules import Program, Rule
+from ..core.terms import Variable
+from ..storage.database import Database
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class IWardedConfig:
+    """One row of Figure 6: the rule-mix of a synthetic scenario."""
+
+    name: str
+    linear_rules: int
+    join_rules: int
+    linear_recursive: int
+    join_recursive: int
+    existential_rules: int
+    harmless_join_with_ward: int
+    harmless_join_without_ward: int
+    harmful_joins: int
+    facts_per_predicate: int = 40
+    seed: int = 7
+
+    @property
+    def total_rules(self) -> int:
+        return self.linear_rules + self.join_rules
+
+
+#: The eight scenarios of Figure 6 (columns in the same order as the paper).
+SCENARIO_CONFIGS: Dict[str, IWardedConfig] = {
+    "synthA": IWardedConfig("synthA", 90, 10, 27, 3, 20, 5, 4, 1),
+    "synthB": IWardedConfig("synthB", 10, 90, 3, 27, 20, 45, 40, 5),
+    "synthC": IWardedConfig("synthC", 30, 70, 9, 20, 40, 25, 20, 5),
+    "synthD": IWardedConfig("synthD", 30, 70, 9, 20, 22, 10, 9, 1),
+    "synthE": IWardedConfig("synthE", 30, 70, 15, 40, 20, 35, 29, 1),
+    "synthF": IWardedConfig("synthF", 30, 70, 25, 20, 50, 35, 29, 1),
+    "synthG": IWardedConfig("synthG", 30, 70, 9, 21, 30, 0, 10, 60),
+    "synthH": IWardedConfig("synthH", 30, 70, 9, 21, 30, 0, 60, 10),
+}
+
+
+def _source_pred(index: int) -> str:
+    return f"S{index}"
+
+
+def _ground_pred(index: int) -> str:
+    return f"G{index}"
+
+
+def _affected_pred(index: int) -> str:
+    return f"A{index}"
+
+
+def generate_iwarded(config: IWardedConfig) -> Tuple[Program, Database]:
+    """Generate a warded program and database for one iWarded configuration.
+
+    The generator keeps the program warded by construction:
+
+    * existential rules are linear (``G_i(x, y) → ∃z A_j(x, z)``);
+    * joins through a ward look like ``A_i(x, p̂), G_j(x, y) → A_k(y, p̂)``
+      (the ward ``A_i`` shares only the harmless ``x`` with ``G_j``);
+    * joins without a ward involve only ground predicates
+      (``G_i(x, y), G_j(y, z) → G_k(x, z)``);
+    * harmful joins join two affected predicates on their affected position
+      (``A_i(x, p̂), A_j(y, p̂) → G_k(x, y)``).
+
+    Recursion is introduced by making the head predicate of a rule feed one of
+    the rules that (transitively) produced its body predicate.
+    """
+    rng = random.Random(config.seed)
+    program = Program()
+
+    n_source = max(5, config.existential_rules // 3)
+    n_ground = max(6, config.join_rules // 8)
+    n_affected = max(4, config.existential_rules // 3)
+
+    source_preds = [_source_pred(i) for i in range(n_source)]
+    ground_preds = [_ground_pred(i) for i in range(n_ground)]
+    affected_preds = [_affected_pred(i) for i in range(n_affected)]
+
+    x, y, z, p = Variable("X"), Variable("Y"), Variable("Z"), Variable("P")
+
+    linear_budget = config.linear_rules
+    join_budget = config.join_rules
+    existential_budget = config.existential_rules
+    ward_join_budget = config.harmless_join_with_ward
+    plain_join_budget = config.harmless_join_without_ward
+    harmful_budget = config.harmful_joins
+
+    rules: List[Rule] = []
+
+    # --- linear rules ------------------------------------------------------
+    # Existential rules read only the EDB source predicates S_i, so the number
+    # of labelled nulls the chase creates is bounded by the input size (the
+    # paper's scenarios are likewise driven by the source instance).
+    recursive_linear = 0
+    for index in range(linear_budget):
+        use_existential = existential_budget > 0 and index % 2 == 0
+        if use_existential:
+            source = rng.choice(source_preds)
+            target = rng.choice(affected_preds)
+            rules.append(
+                Rule(
+                    body=(Atom(source, (x, y)),),
+                    head=(Atom(target, (x, p)),),
+                    label=f"L{index}",
+                )
+            )
+            existential_budget -= 1
+        elif recursive_linear < config.linear_recursive and affected_preds:
+            # A linear recursion through two affected predicates (a 2-cycle).
+            first = rng.choice(affected_preds)
+            second = rng.choice(affected_preds)
+            rules.append(
+                Rule(
+                    body=(Atom(first, (x, p)),),
+                    head=(Atom(second, (x, p)),),
+                    label=f"L{index}",
+                )
+            )
+            recursive_linear += 1
+        else:
+            source = rng.choice(source_preds + ground_preds)
+            target = rng.choice(ground_preds)
+            rules.append(
+                Rule(
+                    body=(Atom(source, (x, y)),),
+                    head=(Atom(target, (y, x)),),
+                    label=f"L{index}",
+                )
+            )
+
+    # --- join rules ----------------------------------------------------------
+    recursive_joins = 0
+    for index in range(join_budget):
+        label = f"J{index}"
+        if ward_join_budget > 0 and affected_preds:
+            # Harmless-harmless join through a ward: the dangerous variable P
+            # stays inside the ward A_i, which shares only the harmless X with
+            # the EDB side predicate.
+            ward = rng.choice(affected_preds)
+            side = rng.choice(source_preds)
+            target = rng.choice(affected_preds)
+            rules.append(
+                Rule(
+                    body=(Atom(ward, (x, p)), Atom(side, (x, y))),
+                    head=(Atom(target, (y, p)),),
+                    label=label,
+                )
+            )
+            ward_join_budget -= 1
+        elif harmful_budget > 0 and len(affected_preds) >= 2:
+            first, second = rng.sample(affected_preds, 2)
+            target = rng.choice(ground_preds)
+            rules.append(
+                Rule(
+                    body=(Atom(first, (x, p)), Atom(second, (y, p))),
+                    head=(Atom(target, (x, y)),),
+                    label=label,
+                )
+            )
+            harmful_budget -= 1
+        else:
+            first = rng.choice(source_preds + ground_preds)
+            second = rng.choice(source_preds)
+            if recursive_joins < config.join_recursive and first in ground_preds:
+                target = first  # transitive-closure style recursion
+                recursive_joins += 1
+            else:
+                target = rng.choice(ground_preds)
+            rules.append(
+                Rule(
+                    body=(Atom(first, (x, y)), Atom(second, (y, z))),
+                    head=(Atom(target, (x, z)),),
+                    label=label,
+                )
+            )
+            if plain_join_budget > 0:
+                plain_join_budget -= 1
+
+    for rule in rules:
+        program.add_rule(rule)
+
+    # Outputs: every ground predicate plus every affected predicate is queried,
+    # matching the paper's "same set of (multi-)queries that activates all the
+    # rules".
+    program.outputs = set(ground_preds) | set(affected_preds)
+
+    database = _generate_database(config, rng, source_preds + ground_preds)
+    return program, database
+
+
+def _generate_database(
+    config: IWardedConfig, rng: random.Random, edb_preds: List[str]
+) -> Database:
+    """A uniform random EDB over the source/ground predicates (average join rate)."""
+    database = Database()
+    domain_size = max(10, config.facts_per_predicate // 2)
+    for predicate in edb_preds:
+        rows = set()
+        while len(rows) < config.facts_per_predicate:
+            rows.add((f"c{rng.randrange(domain_size)}", f"c{rng.randrange(domain_size)}"))
+        database.add_tuples(predicate, sorted(rows))
+    return database
+
+
+def iwarded_scenario(name: str, facts_per_predicate: int | None = None) -> Scenario:
+    """Build one of the Figure-6 scenarios (synthA … synthH)."""
+    if name not in SCENARIO_CONFIGS:
+        raise KeyError(f"unknown iWarded scenario {name!r}; known: {', '.join(SCENARIO_CONFIGS)}")
+    config = SCENARIO_CONFIGS[name]
+    if facts_per_predicate is not None:
+        config = IWardedConfig(
+            name=config.name,
+            linear_rules=config.linear_rules,
+            join_rules=config.join_rules,
+            linear_recursive=config.linear_recursive,
+            join_recursive=config.join_recursive,
+            existential_rules=config.existential_rules,
+            harmless_join_with_ward=config.harmless_join_with_ward,
+            harmless_join_without_ward=config.harmless_join_without_ward,
+            harmful_joins=config.harmful_joins,
+            facts_per_predicate=facts_per_predicate,
+            seed=config.seed,
+        )
+    program, database = generate_iwarded(config)
+    return Scenario(
+        name=name,
+        program=program,
+        database=database,
+        outputs=tuple(sorted(program.outputs)),
+        description=f"iWarded synthetic scenario {name} (Figure 6)",
+        params={
+            "linear_rules": config.linear_rules,
+            "join_rules": config.join_rules,
+            "existential_rules": config.existential_rules,
+            "harmful_joins": config.harmful_joins,
+            "facts_per_predicate": config.facts_per_predicate,
+        },
+    )
+
+
+def all_scenarios(facts_per_predicate: int | None = None) -> List[Scenario]:
+    """All eight Figure-6 scenarios."""
+    return [iwarded_scenario(name, facts_per_predicate) for name in SCENARIO_CONFIGS]

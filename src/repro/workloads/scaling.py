@@ -1,0 +1,191 @@
+"""Scalability scenario variants of SynthB (Section 6.7, Figure 8).
+
+The paper characterises scalability along four further dimensions, all as
+variations of the SynthB scenario of Section 6.1:
+
+* **DbSize**  — growing source instances (uniform value distribution);
+* **Rule#**   — more rules obtained by composing independent copies (blocks)
+  of the basic rule set, each renamed and wired to its own input predicates
+  so that blocks do not interact and only the number of rules grows;
+* **Atom#**   — join rules with more body atoms (2 → 16), added so that the
+  number of output facts is preserved;
+* **Arity**   — predicates of growing arity (3 → 24), adding variables that
+  do not create new interactions between atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.atoms import Atom
+from ..core.rules import Program, Rule
+from ..core.terms import Constant, Variable
+from ..storage.database import Database
+from .iwarded import SCENARIO_CONFIGS, generate_iwarded
+from .scenario import Scenario
+
+
+def _base_synthb(facts_per_predicate: int = 40) -> Tuple[Program, Database]:
+    config = SCENARIO_CONFIGS["synthB"]
+    config = type(config)(
+        name=config.name,
+        linear_rules=config.linear_rules,
+        join_rules=config.join_rules,
+        linear_recursive=config.linear_recursive,
+        join_recursive=config.join_recursive,
+        existential_rules=config.existential_rules,
+        harmless_join_with_ward=config.harmless_join_with_ward,
+        harmless_join_without_ward=config.harmless_join_without_ward,
+        harmful_joins=config.harmful_joins,
+        facts_per_predicate=facts_per_predicate,
+        seed=config.seed,
+    )
+    return generate_iwarded(config)
+
+
+def dbsize_scenario(n_facts_per_predicate: int) -> Scenario:
+    """Figure 8(a): SynthB with a source database of growing size."""
+    program, database = _base_synthb(n_facts_per_predicate)
+    return Scenario(
+        name=f"scaling-dbsize-{n_facts_per_predicate}",
+        program=program,
+        database=database,
+        outputs=tuple(sorted(program.outputs)),
+        description="SynthB with a growing source database (Figure 8a)",
+        params={"facts_per_predicate": n_facts_per_predicate, "db_facts": len(database)},
+    )
+
+
+def rule_count_scenario(blocks: int, facts_per_predicate: int = 25) -> Scenario:
+    """Figure 8(b): SynthB composed of ``blocks`` independent renamed copies."""
+    program = Program()
+    database = Database()
+    for block in range(blocks):
+        block_program, block_database = _base_synthb(facts_per_predicate)
+        renaming = {p.name: f"B{block}_{p.name}" for p in block_program.predicates()}
+        for rule in block_program.rules:
+            program.add_rule(
+                Rule(
+                    body=tuple(Atom(renaming[a.predicate], a.terms) for a in rule.body),
+                    head=tuple(Atom(renaming[a.predicate], a.terms) for a in rule.head),
+                    conditions=rule.conditions,
+                    assignments=rule.assignments,
+                    aggregate=rule.aggregate,
+                    label=f"B{block}_{rule.label}",
+                )
+            )
+        program.outputs |= {renaming[name] for name in block_program.outputs}
+        for relation_name in block_database.relations():
+            database.add_tuples(
+                renaming[relation_name], block_database.relation(relation_name).tuples
+            )
+    return Scenario(
+        name=f"scaling-rules-{blocks * 100}",
+        program=program,
+        database=database,
+        outputs=tuple(sorted(program.outputs)),
+        description="SynthB composed of independent blocks (Figure 8b)",
+        params={"blocks": blocks, "rules": len(program.rules), "db_facts": len(database)},
+    )
+
+
+def atom_count_scenario(body_atoms: int, facts_per_predicate: int = 25) -> Scenario:
+    """Figure 8(c): SynthB with join rules widened to ``body_atoms`` body atoms.
+
+    Extra atoms are chained copies of an auxiliary edge predicate ``Pad`` that
+    contains a single reflexive tuple per domain constant, so the join result
+    (and hence the output) is preserved while the processing pipeline gets
+    longer — the same construction the paper uses to isolate the effect of
+    rule width.
+    """
+    if body_atoms < 2:
+        raise ValueError("body_atoms must be at least 2")
+    program, database = _base_synthb(facts_per_predicate)
+    widened = Program()
+    widened.outputs = set(program.outputs)
+    for rule in program.rules:
+        body = list(rule.body)
+        if len(rule.relational_body) >= 2:
+            anchor = rule.relational_body[0]
+            anchor_vars = anchor.variables()
+            if anchor_vars:
+                link = anchor_vars[0]
+                extra: List[Atom] = []
+                previous = link
+                for extra_index in range(body_atoms - len(rule.relational_body)):
+                    extra.append(Atom("Pad", (previous, previous)))
+                body = body + extra
+        widened.add_rule(
+            Rule(
+                body=tuple(body),
+                head=rule.head,
+                conditions=rule.conditions,
+                assignments=rule.assignments,
+                aggregate=rule.aggregate,
+                label=rule.label,
+            )
+        )
+    # Pad contains the reflexive pair of every domain constant.
+    constants = set()
+    for relation_name in database.relations():
+        for row in database.relation(relation_name).tuples:
+            constants.update(row)
+    database.add_tuples("Pad", [(c, c) for c in sorted(constants)])
+    return Scenario(
+        name=f"scaling-atoms-{body_atoms}",
+        program=widened,
+        database=database,
+        outputs=tuple(sorted(widened.outputs)),
+        description="SynthB with wider join rules (Figure 8c)",
+        params={"body_atoms": body_atoms, "db_facts": len(database)},
+    )
+
+
+def arity_scenario(arity: int, facts_per_predicate: int = 25) -> Scenario:
+    """Figure 8(d): SynthB with predicates padded to the given arity.
+
+    Every predicate gets ``arity - 2`` extra positions holding pass-through
+    variables (bound in the body, copied to the head); database facts are
+    padded with constant filler values.  The padding adds data volume without
+    creating new interactions between atoms, as in the paper.
+    """
+    if arity < 2:
+        raise ValueError("arity must be at least 2")
+    program, database = _base_synthb(facts_per_predicate)
+    extra = arity - 2
+    if extra == 0:
+        padded_program, padded_database = program, database
+    else:
+        pad_vars = tuple(Variable(f"PAD{i}") for i in range(extra))
+        padded_program = Program()
+        padded_program.outputs = set(program.outputs)
+
+        def pad_atom(atom: Atom) -> Atom:
+            return Atom(atom.predicate, tuple(atom.terms) + pad_vars)
+
+        for rule in program.rules:
+            padded_program.add_rule(
+                Rule(
+                    body=tuple(pad_atom(a) for a in rule.body),
+                    head=tuple(pad_atom(a) for a in rule.head),
+                    conditions=rule.conditions,
+                    assignments=rule.assignments,
+                    aggregate=rule.aggregate,
+                    label=rule.label,
+                )
+            )
+        padded_database = Database()
+        filler = tuple(f"pad{i}" for i in range(extra))
+        for relation_name in database.relations():
+            padded_database.add_tuples(
+                relation_name,
+                [tuple(row) + filler for row in database.relation(relation_name).tuples],
+            )
+    return Scenario(
+        name=f"scaling-arity-{arity}",
+        program=padded_program,
+        database=padded_database,
+        outputs=tuple(sorted(padded_program.outputs)),
+        description="SynthB with padded predicate arity (Figure 8d)",
+        params={"arity": arity, "db_facts": len(padded_database)},
+    )

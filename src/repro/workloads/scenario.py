@@ -1,0 +1,44 @@
+"""The common scenario abstraction used by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.rules import Program
+from ..core.wardedness import analyse_program
+from ..storage.database import Database
+
+
+@dataclass
+class Scenario:
+    """A reasoning scenario: a program, its extensional data and its outputs."""
+
+    name: str
+    program: Program
+    database: Database
+    outputs: Tuple[str, ...]
+    description: str = ""
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def facts(self):
+        return self.database.facts()
+
+    def summary(self) -> Dict[str, object]:
+        analysis = analyse_program(self.program)
+        data = dict(analysis.summary())
+        data.update(
+            {
+                "name": self.name,
+                "db_facts": len(self.database),
+                "outputs": list(self.outputs),
+            }
+        )
+        data.update(self.params)
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Scenario({self.name!r}, rules={len(self.program.rules)}, "
+            f"facts={len(self.database)})"
+        )

@@ -1,0 +1,75 @@
+"""Differential tests: the warded engine vs the baselines on whole scenarios.
+
+Certain (null-free) answers of the Vadalog-style engine must coincide with
+those of the restricted-chase and Skolem-chase baselines on every scenario
+that all engines support; on Datalog scenarios the recursive-SQL baseline
+must coincide as well.  These tests are the correctness backbone of the
+benchmark claims.
+"""
+
+import pytest
+
+from repro.baselines import RecursiveSqlEngine, RestrictedChaseEngine, SkolemChaseEngine
+from repro.engine.reasoner import VadalogReasoner
+from repro.workloads import (
+    doctors_scenario,
+    ibench_scenario,
+    iwarded_scenario,
+    lubm_scenario,
+    psc_scenario,
+)
+
+
+def certain_answers_vadalog(scenario):
+    reasoner = VadalogReasoner(scenario.program.copy())
+    result = reasoner.reason(database=scenario.database, outputs=scenario.outputs, certain=True)
+    return {
+        predicate: result.answers.ground_tuples(predicate) for predicate in scenario.outputs
+    }
+
+
+def certain_answers_baseline(scenario, engine_cls):
+    engine = engine_cls(scenario.program.copy(), max_rounds=2000)
+    result = engine.run(scenario.database.facts())
+    return {predicate: result.ground_tuples(predicate) for predicate in scenario.outputs}
+
+
+class TestDifferentialDatalog:
+    def test_psc_scenario_all_engines_agree(self):
+        scenario = psc_scenario(n_companies=30, n_persons=25)
+        vadalog = certain_answers_vadalog(scenario)
+        restricted = certain_answers_baseline(scenario, RestrictedChaseEngine)
+        skolem = certain_answers_baseline(scenario, SkolemChaseEngine)
+        sql_engine = RecursiveSqlEngine(scenario.program.copy())
+        sql_result = sql_engine.run(scenario.database.facts())
+        sql = {p: sql_result.ground_tuples(p) for p in scenario.outputs}
+        assert vadalog == restricted == skolem == sql
+
+    def test_lubm_scenario_vadalog_vs_skolem(self):
+        scenario = lubm_scenario(150)
+        assert certain_answers_vadalog(scenario) == certain_answers_baseline(
+            scenario, SkolemChaseEngine
+        )
+
+    def test_doctors_scenario_vadalog_vs_restricted(self):
+        scenario = doctors_scenario(80)
+        assert certain_answers_vadalog(scenario) == certain_answers_baseline(
+            scenario, RestrictedChaseEngine
+        )
+
+
+class TestDifferentialWarded:
+    @pytest.mark.parametrize("name", ["synthA", "synthG"])
+    def test_iwarded_scenarios_vadalog_vs_skolem(self, name):
+        scenario = iwarded_scenario(name, facts_per_predicate=4)
+        vadalog = certain_answers_vadalog(scenario)
+        skolem = certain_answers_baseline(scenario, SkolemChaseEngine)
+        for predicate in scenario.outputs:
+            assert vadalog[predicate] == skolem[predicate], predicate
+
+    def test_ibench_stb_vadalog_vs_skolem(self):
+        scenario = ibench_scenario("STB-128", source_facts=4)
+        vadalog = certain_answers_vadalog(scenario)
+        skolem = certain_answers_baseline(scenario, SkolemChaseEngine)
+        for predicate in scenario.outputs:
+            assert vadalog[predicate] == skolem[predicate], predicate

@@ -1,0 +1,145 @@
+"""Unit tests for expressions, comparisons, assignments and aggregate specs."""
+
+import pytest
+
+from repro.core.conditions import (
+    AggregateSpec,
+    Assignment,
+    Comparison,
+    ConditionError,
+    comparison_between_terms,
+)
+from repro.core.expressions import (
+    BinaryOp,
+    ExpressionError,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    VariableRef,
+    literal,
+    term_expression,
+    var,
+)
+from repro.core.terms import Constant, Null, Variable
+
+
+def binding(**kwargs):
+    return {Variable(name): Constant(value) for name, value in kwargs.items()}
+
+
+class TestExpressions:
+    def test_literal(self):
+        assert literal(5).evaluate({}) == 5
+        assert literal("x").variables() == ()
+
+    def test_variable_ref(self):
+        assert var("X").evaluate(binding(X=3)) == 3
+        assert var("X").variables() == (Variable("X"),)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExpressionError):
+            var("X").evaluate({})
+
+    def test_arithmetic(self):
+        expr = BinaryOp("+", var("X"), BinaryOp("*", var("Y"), literal(2)))
+        assert expr.evaluate(binding(X=1, Y=3)) == 7
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("/", literal(1), literal(0)).evaluate({})
+
+    def test_unary_operations(self):
+        assert UnaryOp("-", literal(4)).evaluate({}) == -4
+        assert UnaryOp("abs", literal(-4)).evaluate({}) == 4
+        assert UnaryOp("upper", literal("ab")).evaluate({}) == "AB"
+        assert UnaryOp("length", literal("abc")).evaluate({}) == 3
+
+    def test_string_operations(self):
+        assert BinaryOp("concat", literal("a"), literal("b")).evaluate({}) == "ab"
+        assert BinaryOp("startswith", literal("abc"), literal("ab")).evaluate({}) is True
+        assert BinaryOp("indexof", literal("abc"), literal("c")).evaluate({}) == 2
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("???", literal(1), literal(2)).evaluate({})
+        with pytest.raises(ExpressionError):
+            UnaryOp("???", literal(1)).evaluate({})
+
+    def test_null_in_arithmetic_raises(self):
+        b = {Variable("X"): Null(0)}
+        with pytest.raises(ExpressionError):
+            BinaryOp("+", var("X"), literal(1)).evaluate(b)
+
+    def test_function_call_dispatch(self):
+        assert FunctionCall("abs", (literal(-2),)).evaluate({}) == 2
+        assert FunctionCall("max", (literal(2), literal(5))).evaluate({}) == 5
+        with pytest.raises(ExpressionError):
+            FunctionCall("nope", (literal(1),)).evaluate({})
+
+    def test_variables_collected_without_duplicates(self):
+        expr = BinaryOp("+", var("X"), BinaryOp("-", var("Y"), var("X")))
+        assert expr.variables() == (Variable("X"), Variable("Y"))
+
+    def test_term_expression(self):
+        assert term_expression(Constant(3)).evaluate({}) == 3
+        assert term_expression(Variable("X")).variables() == (Variable("X"),)
+        with pytest.raises(ExpressionError):
+            term_expression(Null(0))
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        assert Comparison(">", var("W"), literal(0.5)).holds(binding(W=0.6))
+        assert not Comparison(">", var("W"), literal(0.5)).holds(binding(W=0.4))
+        assert Comparison("<=", var("W"), literal(1)).holds(binding(W=1))
+
+    def test_equality_operators(self):
+        assert Comparison("==", var("X"), var("Y")).holds(binding(X=1, Y=1))
+        assert Comparison("!=", var("X"), var("Y")).holds(binding(X=1, Y=2))
+
+    def test_null_ordering_comparison_is_false(self):
+        b = {Variable("X"): Null(0), Variable("Y"): Constant(1)}
+        assert not Comparison(">", var("X"), var("Y")).holds(b)
+
+    def test_null_equality_by_identity(self):
+        b = {Variable("X"): Null(0), Variable("Y"): Null(0)}
+        assert Comparison("==", var("X"), var("Y")).holds(b)
+        b2 = {Variable("X"): Null(0), Variable("Y"): Null(1)}
+        assert Comparison("!=", var("X"), var("Y")).holds(b2)
+
+    def test_unbound_condition_is_false(self):
+        assert not Comparison(">", var("X"), literal(1)).holds({})
+
+    def test_incomparable_types_are_false(self):
+        assert not Comparison(">", var("X"), literal(1)).holds(binding(X="abc"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison("~~", var("X"), literal(1))
+
+    def test_comparison_between_terms_helper(self):
+        cmp = comparison_between_terms(">", Variable("X"), Constant(2))
+        assert cmp.holds(binding(X=3))
+
+    def test_variables(self):
+        cmp = Comparison(">", var("X"), var("Y"))
+        assert set(cmp.variables()) == {Variable("X"), Variable("Y")}
+
+
+class TestAssignmentsAndAggregates:
+    def test_assignment_compute(self):
+        assignment = Assignment(Variable("V"), BinaryOp("*", var("W"), literal(2)))
+        assert assignment.compute(binding(W=3)) == Constant(6)
+        assert assignment.variables() == (Variable("W"),)
+
+    def test_aggregate_spec_validation(self):
+        with pytest.raises(ConditionError):
+            AggregateSpec(Variable("Z"), "sum", var("X"))
+
+    def test_aggregate_spec_variables(self):
+        spec = AggregateSpec(Variable("Z"), "msum", var("W"), (Variable("Y"),))
+        assert set(spec.variables()) == {Variable("W"), Variable("Y")}
+
+    def test_aggregate_spec_str(self):
+        spec = AggregateSpec(Variable("Z"), "msum", var("W"), (Variable("Y"),))
+        assert "msum" in str(spec) and "<Y>" in str(spec)

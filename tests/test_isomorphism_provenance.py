@@ -1,0 +1,150 @@
+"""Tests for fact isomorphism, pattern isomorphism and provenance structures."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.atoms import Fact
+from repro.core.isomorphism import (
+    canonical_pattern,
+    deduplicate_isomorphic,
+    isomorphic,
+    isomorphism_key,
+    pattern_isomorphic,
+    pattern_key,
+)
+from repro.core.provenance import (
+    EMPTY_PROVENANCE,
+    StopProvenanceSet,
+    extend,
+    is_prefix,
+    is_strict_prefix,
+    longest_common_prefix,
+)
+from repro.core.terms import Constant, Null
+
+
+def f(pred, *terms):
+    return Fact(pred, terms)
+
+
+class TestIsomorphism:
+    def test_isomorphic_same_constants_different_nulls(self):
+        assert isomorphic(f("P", Constant(1), Null(0)), f("P", Constant(1), Null(7)))
+
+    def test_not_isomorphic_different_constants(self):
+        assert not isomorphic(f("P", Constant(1), Null(0)), f("P", Constant(2), Null(0)))
+
+    def test_null_bijection_required(self):
+        # ν0,ν0 cannot map to ν1,ν2 (not injective in reverse).
+        assert not isomorphic(f("P", Null(0), Null(0)), f("P", Null(1), Null(2)))
+        assert isomorphic(f("P", Null(0), Null(0)), f("P", Null(3), Null(3)))
+
+    def test_constant_vs_null_never_isomorphic(self):
+        assert not isomorphic(f("P", Constant(1)), f("P", Null(0)))
+
+    def test_isomorphism_key_agrees_with_pairwise_check(self):
+        a = f("P", Constant("x"), Null(0), Null(1))
+        b = f("P", Constant("x"), Null(5), Null(9))
+        c = f("P", Constant("x"), Null(5), Null(5))
+        assert (isomorphism_key(a) == isomorphism_key(b)) == isomorphic(a, b)
+        assert (isomorphism_key(a) == isomorphism_key(c)) == isomorphic(a, c)
+
+    def test_pattern_isomorphism_paper_example(self):
+        # P(1,2,x,y) ~ P(3,4,z,y) but not ~ P(5,5,z,y)  (Section 3.3).
+        a = f("P", Constant(1), Constant(2), Null(0), Null(1))
+        b = f("P", Constant(3), Constant(4), Null(2), Null(1))
+        c = f("P", Constant(5), Constant(5), Null(2), Null(1))
+        assert pattern_isomorphic(a, b)
+        assert not pattern_isomorphic(a, c)
+
+    def test_pattern_key_ignores_specific_values(self):
+        assert pattern_key(f("P", Constant("a"), Null(0))) == pattern_key(
+            f("P", Constant("zzz"), Null(42))
+        )
+
+    def test_canonical_pattern_is_pattern_isomorphic(self):
+        original = f("P", Constant("a"), Constant("a"), Null(3))
+        representative = canonical_pattern(original)
+        assert pattern_isomorphic(original, representative)
+
+    def test_deduplicate_isomorphic(self):
+        facts = [
+            f("P", Constant(1), Null(0)),
+            f("P", Constant(1), Null(1)),
+            f("P", Constant(2), Null(2)),
+        ]
+        assert len(deduplicate_isomorphic(facts)) == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=5))
+    def test_isomorphism_invariant_under_null_renaming(self, null_ids):
+        # Renaming nulls by any injective map preserves the isomorphism key.
+        original = Fact("P", [Null(i) for i in null_ids])
+        renamed = Fact("P", [Null(i + 100) for i in null_ids])
+        assert isomorphism_key(original) == isomorphism_key(renamed)
+        assert isomorphic(original, renamed)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=3).map(Null),
+                st.sampled_from(["a", "b", "c"]).map(Constant),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_pattern_key_refines_to_isomorphism_key(self, terms):
+        # Facts with equal isomorphism keys always have equal pattern keys.
+        first = Fact("P", terms)
+        second = Fact("P", terms)
+        assert isomorphism_key(first) == isomorphism_key(second)
+        assert pattern_key(first) == pattern_key(second)
+
+
+class TestProvenance:
+    def test_extend(self):
+        assert extend(EMPTY_PROVENANCE, "r1") == ("r1",)
+        assert extend(("r1",), "r2") == ("r1", "r2")
+
+    def test_prefix_relation(self):
+        assert is_prefix((), ("r1",))
+        assert is_prefix(("r1",), ("r1", "r2"))
+        assert not is_prefix(("r2",), ("r1", "r2"))
+        assert is_prefix(("r1", "r2"), ("r1", "r2"))
+        assert not is_strict_prefix(("r1", "r2"), ("r1", "r2"))
+
+    def test_stop_provenance_covers_and_within(self):
+        stops = StopProvenanceSet()
+        stops.add(("r1", "r2"))
+        assert stops.covers(("r1", "r2"))
+        assert stops.covers(("r1", "r2", "r3"))
+        assert not stops.covers(("r1",))
+        assert stops.within(("r1",))
+        assert not stops.within(("r1", "r2"))
+
+    def test_stop_provenance_minimality(self):
+        stops = StopProvenanceSet()
+        stops.add(("r1", "r2", "r3"))
+        stops.add(("r1",))
+        assert len(stops) == 1
+        assert list(stops) == [("r1",)]
+        # Adding something already covered is a no-op.
+        stops.add(("r1", "r9"))
+        assert len(stops) == 1
+
+    def test_longest_common_prefix(self):
+        assert longest_common_prefix([("a", "b", "c"), ("a", "b", "d")]) == ("a", "b")
+        assert longest_common_prefix([]) == ()
+        assert longest_common_prefix([("a",), ("b",)]) == ()
+
+    @given(
+        st.lists(st.sampled_from(["r1", "r2", "r3"]), max_size=4),
+        st.lists(st.sampled_from(["r1", "r2", "r3"]), max_size=4),
+    )
+    def test_prefix_is_partial_order(self, left, right):
+        left, right = tuple(left), tuple(right)
+        if is_prefix(left, right) and is_prefix(right, left):
+            assert left == right
+        # Transitivity with the extension of the longer one.
+        longer = right + ("r9",)
+        if is_prefix(left, right):
+            assert is_prefix(left, longer)

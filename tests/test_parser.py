@@ -1,0 +1,135 @@
+"""Unit tests for the Vadalog surface-syntax parser."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.parser import VadalogSyntaxError, parse_fact, parse_program, parse_rule
+from repro.core.terms import Constant, Variable
+
+
+class TestRules:
+    def test_simple_rule(self):
+        rule = parse_rule("Control(X, Y) :- Own(X, Y, W), W > 0.5.")
+        assert rule.head[0].predicate == "Control"
+        assert [a.predicate for a in rule.body] == ["Own"]
+        assert len(rule.conditions) == 1
+
+    def test_variables_vs_constants(self):
+        rule = parse_rule('P(X, acme, "Quoted Name", 3) :- Q(X).')
+        head = rule.head[0]
+        assert head.terms[0] == Variable("X")
+        assert head.terms[1] == Constant("acme")
+        assert head.terms[2] == Constant("Quoted Name")
+        assert head.terms[3] == Constant(3)
+
+    def test_existential_detection(self):
+        rule = parse_rule("Owns(P, S, X) :- Company(X).")
+        assert set(rule.existential_variables()) == {Variable("P"), Variable("S")}
+
+    def test_multiple_head_atoms(self):
+        rule = parse_rule("A(X), B(X) :- C(X).")
+        assert len(rule.head) == 2
+
+    def test_multiple_body_atoms_join(self):
+        rule = parse_rule("R(X, Z) :- E(X, Y), E(Y, Z).")
+        assert len(rule.body) == 2
+        assert not rule.is_linear()
+
+    def test_assignment(self):
+        rule = parse_rule("P(X, V) :- Q(X, W), V = W * 2.")
+        assert len(rule.assignments) == 1
+        assert rule.assignments[0].variable == Variable("V")
+
+    def test_aggregate_with_contributors(self):
+        rule = parse_rule("Control(X, Z) :- Control(X, Y), Own(Y, Z, W), V = msum(W, <Y>), V > 0.5.")
+        assert rule.aggregate is not None
+        assert rule.aggregate.function == "msum"
+        assert rule.aggregate.contributors == (Variable("Y"),)
+        assert len(rule.conditions) == 1
+
+    def test_aggregate_without_contributors(self):
+        rule = parse_rule("C(X, N) :- P(X, Y), N = mcount(Y).")
+        assert rule.aggregate.function == "mcount"
+        assert rule.aggregate.contributors == ()
+
+    def test_negative_numbers_and_floats(self):
+        rule = parse_rule("P(X) :- Q(X, W), W > -1.5.")
+        assert len(rule.conditions) == 1
+
+    def test_comments_are_ignored(self):
+        program = parse_program(
+            """
+            % a comment line
+            P(X) :- Q(X).  # trailing comment
+            """
+        )
+        assert len(program.rules) == 1
+
+
+class TestFactsConstraintsAnnotations:
+    def test_fact(self):
+        f = parse_fact('Company("HSBC").')
+        assert f.predicate == "Company"
+        assert f.values() == ("HSBC",)
+
+    def test_fact_with_numbers(self):
+        f = parse_fact("Own(acme, beta, 0.6).")
+        assert f.values() == ("acme", "beta", 0.6)
+
+    def test_fact_with_variable_rejected(self):
+        with pytest.raises(VadalogSyntaxError):
+            parse_program("Company(X).")
+
+    def test_negative_constraint(self):
+        program = parse_program(":- Own(X, X, W).")
+        assert len(program.constraints) == 1
+        assert program.constraints[0].body[0].predicate == "Own"
+
+    def test_egd(self):
+        program = parse_program("X1 = X2 :- Own(X1, Y, W1), Own(X2, Y, W2), Dom(*).")
+        assert len(program.egds) == 1
+        assert program.egds[0].left == Variable("X1")
+
+    def test_input_output_annotations(self):
+        program = parse_program(
+            """
+            @input("Own").
+            @output("Control").
+            Control(X, Y) :- Own(X, Y, W), W > 0.5.
+            """
+        )
+        assert program.inputs == {"Own"}
+        assert program.outputs == {"Control"}
+
+    def test_bind_annotation_preserved(self):
+        program = parse_program('@bind("Own", "csv", "own.csv").\nP(X) :- Own(X, Y, W).')
+        names = [a.name for a in program.annotations]
+        assert "bind" in names
+
+    def test_dom_star(self):
+        rule = parse_rule("P(X) :- Q(X), Dom(*).")
+        assert any(a.predicate == "Dom" for a in rule.body)
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(VadalogSyntaxError):
+            parse_program("P(X) :- Q(X)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(VadalogSyntaxError):
+            parse_program("P(X) :- Q(X) & R(X).")
+
+    def test_error_reports_position(self):
+        with pytest.raises(VadalogSyntaxError) as info:
+            parse_program("P(X :- Q(X).")
+        assert "line 1" in str(info.value)
+
+    def test_constraint_without_body_rejected(self):
+        with pytest.raises(VadalogSyntaxError):
+            parse_program(":- .")
+
+    def test_round_trip_through_str(self):
+        program = parse_program("Control(X, Y) :- Own(X, Y, W), W > 0.5.")
+        text = str(program)
+        assert "Control" in text and ":-" in text

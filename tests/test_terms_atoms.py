@@ -1,0 +1,138 @@
+"""Unit tests for the term and atom layer (repro.core.terms / repro.core.atoms)."""
+
+import pytest
+
+from repro.core.atoms import Atom, Fact, Position, Predicate, atom, fact, group_by_predicate
+from repro.core.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    VariableFactory,
+    apply_substitution,
+    constants_of,
+    make_term,
+    merge_substitutions,
+    nulls_of,
+    variables_of,
+)
+
+
+class TestTerms:
+    def test_constant_equality_and_hash(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert hash(Constant("a")) == hash(Constant("a"))
+
+    def test_term_kind_predicates(self):
+        assert Constant(1).is_constant and Constant(1).is_ground
+        assert Variable("X").is_variable and not Variable("X").is_ground
+        assert Null(0).is_null and Null(0).is_ground
+
+    def test_null_identity_by_ident(self):
+        assert Null(3) == Null(3)
+        assert Null(3) != Null(4)
+
+    def test_null_factory_produces_distinct_nulls(self):
+        factory = NullFactory()
+        nulls = factory.fresh_many(50)
+        assert len(set(nulls)) == 50
+
+    def test_null_factory_start_offset(self):
+        factory = NullFactory(start=100)
+        assert factory.fresh() == Null(100)
+
+    def test_variable_factory_reserved_prefix(self):
+        factory = VariableFactory()
+        first, second = factory.fresh_many(2)
+        assert first != second
+        assert first.name.startswith("_V")
+
+    def test_make_term_passthrough_and_wrap(self):
+        assert make_term(Variable("X")) == Variable("X")
+        assert make_term(42) == Constant(42)
+
+    def test_term_collectors(self):
+        terms = (Constant(1), Variable("X"), Null(0), Constant(2))
+        assert constants_of(terms) == (Constant(1), Constant(2))
+        assert nulls_of(terms) == (Null(0),)
+        assert variables_of(terms) == (Variable("X"),)
+
+    def test_apply_substitution(self):
+        sub = {Variable("X"): Constant(1)}
+        assert apply_substitution(Variable("X"), sub) == Constant(1)
+        assert apply_substitution(Variable("Y"), sub) == Variable("Y")
+        assert apply_substitution(Constant(9), sub) == Constant(9)
+
+    def test_merge_substitutions_conflict(self):
+        first = {Variable("X"): Constant(1)}
+        second = {Variable("X"): Constant(2)}
+        assert merge_substitutions(first, second) is None
+        compatible = {Variable("Y"): Constant(3)}
+        merged = merge_substitutions(first, compatible)
+        assert merged == {Variable("X"): Constant(1), Variable("Y"): Constant(3)}
+
+
+class TestAtoms:
+    def test_atom_wraps_raw_values_as_constants(self):
+        a = atom("Own", "acme", 0.6)
+        assert a.terms == (Constant("acme"), Constant(0.6))
+
+    def test_atom_equality_and_hash(self):
+        assert atom("P", 1, 2) == atom("P", 1, 2)
+        assert atom("P", 1, 2) != atom("P", 2, 1)
+        assert hash(atom("P", 1)) == hash(atom("P", 1))
+
+    def test_atom_variables_deduplicated_in_order(self):
+        a = Atom("P", (Variable("X"), Variable("Y"), Variable("X")))
+        assert a.variables() == (Variable("X"), Variable("Y"))
+
+    def test_positions(self):
+        a = atom("P", 1, 2, 3)
+        assert a.positions() == (Position("P", 0), Position("P", 1), Position("P", 2))
+
+    def test_positions_of_variable(self):
+        a = Atom("P", (Variable("X"), Constant(1), Variable("X")))
+        assert a.positions_of(Variable("X")) == (Position("P", 0), Position("P", 2))
+
+    def test_signature(self):
+        assert atom("P", 1, 2).signature == Predicate("P", 2)
+
+    def test_substitute(self):
+        a = Atom("P", (Variable("X"), Constant(1)))
+        b = a.substitute({Variable("X"): Constant(7)})
+        assert b == atom("P", 7, 1)
+
+    def test_match_success_and_bindings(self):
+        pattern = Atom("P", (Variable("X"), Variable("Y"), Variable("X")))
+        f = fact("P", 1, 2, 1)
+        assert pattern.match(f) == {Variable("X"): Constant(1), Variable("Y"): Constant(2)}
+
+    def test_match_failure_on_conflicting_repeated_variable(self):
+        pattern = Atom("P", (Variable("X"), Variable("X")))
+        assert pattern.match(fact("P", 1, 2)) is None
+
+    def test_match_failure_on_predicate_or_arity(self):
+        pattern = Atom("P", (Variable("X"),))
+        assert pattern.match(fact("Q", 1)) is None
+        assert pattern.match(fact("P", 1, 2)) is None
+
+    def test_fact_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Fact("P", (Variable("X"),))
+
+    def test_fact_has_nulls_and_values(self):
+        f = Fact("P", (Constant(1), Null(0)))
+        assert f.has_nulls
+        assert f.values() == (1, Null(0))
+        assert not fact("P", 1, 2).has_nulls
+
+    def test_group_by_predicate(self):
+        facts = [fact("P", 1), fact("Q", 2), fact("P", 3)]
+        grouped = group_by_predicate(facts)
+        assert [f.values() for f in grouped["P"]] == [(1,), (3,)]
+        assert len(grouped["Q"]) == 1
+
+    def test_is_ground(self):
+        assert atom("P", 1).is_ground()
+        assert not Atom("P", (Variable("X"),)).is_ground()

@@ -1,0 +1,149 @@
+"""Tests for the wardedness analysis (affected positions, variable roles, wards)."""
+
+import pytest
+
+from repro.core.atoms import Position
+from repro.core.parser import parse_program
+from repro.core.terms import Variable
+from repro.core.wardedness import (
+    RuleKind,
+    VariableRole,
+    affected_positions,
+    analyse_program,
+    is_harmless_warded,
+    is_warded,
+)
+
+EXAMPLE_3 = """
+KeyPerson(P, X) :- Company(X).
+KeyPerson(P, Y) :- Control(X, Y), KeyPerson(P, X).
+"""
+
+EXAMPLE_4 = """
+Q(Z, X) :- P(X).
+T(X) :- Q(X, Y), P(Y).
+"""
+
+EXAMPLE_5 = """
+PSC(X, P) :- KeyPerson(X, P).
+PSC(X, P) :- Company(X).
+PSC(X, P) :- Control(Y, X), PSC(Y, P).
+StrongLink(X, Y) :- PSC(X, P), PSC(Y, P), X > Y.
+"""
+
+
+class TestAffectedPositions:
+    def test_existential_positions_are_affected(self):
+        program = parse_program(EXAMPLE_3)
+        affected = affected_positions(program)
+        assert Position("KeyPerson", 0) in affected
+        assert Position("KeyPerson", 1) not in affected
+
+    def test_propagated_positions_are_affected(self):
+        program = parse_program(EXAMPLE_4)
+        affected = affected_positions(program)
+        assert Position("Q", 0) in affected
+        assert Position("T", 0) in affected
+        assert Position("Q", 1) not in affected
+
+    def test_datalog_program_has_no_affected_positions(self):
+        program = parse_program("R(X, Z) :- E(X, Y), E(Y, Z).")
+        assert affected_positions(program) == frozenset()
+
+    def test_dom_guard_positions_never_affected(self):
+        program = parse_program(
+            """
+            P(X, Z) :- Q(X).
+            R(X) :- P(X, H), Dom(H).
+            """
+        )
+        affected = affected_positions(program)
+        assert all(p.predicate != "Dom" for p in affected)
+
+
+class TestVariableRoles:
+    def test_example_3_roles(self):
+        program = parse_program(EXAMPLE_3)
+        analysis = analyse_program(program)
+        recursive_rule = analysis.rule_analyses[1]
+        assert recursive_rule.roles[Variable("P")] is VariableRole.DANGEROUS
+        assert recursive_rule.roles[Variable("X")] is VariableRole.HARMLESS
+        assert recursive_rule.roles[Variable("Y")] is VariableRole.HARMLESS
+
+    def test_example_5_harmful_but_not_dangerous(self):
+        program = parse_program(EXAMPLE_5)
+        analysis = analyse_program(program)
+        strong_link = analysis.rule_analyses[3]
+        assert strong_link.roles[Variable("P")] is VariableRole.HARMFUL
+        assert Variable("P") not in strong_link.dangerous
+        assert strong_link.harmful_join_variables == (Variable("P"),)
+
+    def test_ward_detection(self):
+        program = parse_program(EXAMPLE_3)
+        analysis = analyse_program(program)
+        recursive_rule = analysis.rule_analyses[1]
+        assert recursive_rule.ward is not None
+        assert recursive_rule.ward.predicate == "KeyPerson"
+        assert recursive_rule.kind is RuleKind.WARDED
+
+
+class TestFragmentClassification:
+    def test_paper_examples_are_warded(self):
+        assert is_warded(parse_program(EXAMPLE_3))
+        assert is_warded(parse_program(EXAMPLE_4))
+        assert is_warded(parse_program(EXAMPLE_5))
+
+    def test_harmless_warded_distinction(self):
+        assert is_harmless_warded(parse_program(EXAMPLE_3))
+        assert not is_harmless_warded(parse_program(EXAMPLE_5))
+
+    def test_non_warded_program(self):
+        # The dangerous variable P appears in two body atoms, so no ward exists.
+        program = parse_program(
+            """
+            P(X, H) :- S(X).
+            Out(H) :- P(X, H), Q(Y, H).
+            Q(Y, H) :- P(Y, H).
+            """
+        )
+        assert not is_warded(program)
+
+    def test_datalog_fragment(self):
+        analysis = analyse_program(parse_program("R(X, Z) :- E(X, Y), E(Y, Z)."))
+        assert analysis.is_datalog
+        assert analysis.fragment() == "datalog"
+
+    def test_linear_fragment(self):
+        analysis = analyse_program(parse_program("B(Y, X) :- A(X, Y)."))
+        assert analysis.is_linear
+
+    def test_guarded_check(self):
+        guarded = analyse_program(parse_program("H(X, Y) :- G(X, Y, Z), P(X)."))
+        assert guarded.is_guarded
+        unguarded = analyse_program(parse_program("H(X, Z) :- P(X, Y), Q(Y, Z)."))
+        assert not unguarded.is_guarded
+
+    def test_summary_counts(self):
+        analysis = analyse_program(parse_program(EXAMPLE_5))
+        summary = analysis.summary()
+        assert summary["rules"] == 4
+        assert summary["existential_rules"] == 1
+        assert summary["harmful_joins"] == 1
+        assert summary["warded"] is True
+
+    def test_every_datalog_program_is_warded(self):
+        program = parse_program(
+            """
+            T(X, Y) :- E(X, Y).
+            T(X, Z) :- T(X, Y), E(Y, Z).
+            Same(X, Y) :- T(X, Y), T(Y, X).
+            """
+        )
+        assert is_warded(program)
+        assert is_harmless_warded(program)
+
+    def test_analysis_for_unknown_rule_raises(self):
+        analysis = analyse_program(parse_program(EXAMPLE_3))
+        other = parse_program("Z(X) :- W(X).").rules[0]
+        with pytest.raises(KeyError):
+            analysis.analysis_for(other)

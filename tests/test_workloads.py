@@ -1,0 +1,201 @@
+"""Tests for the workload generators and the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import ENGINES, run_scenario, run_sweep
+from repro.bench.reporting import format_series, format_table, rows_as_dicts
+from repro.core.wardedness import analyse_program
+from repro.workloads import (
+    SCENARIO_CONFIGS,
+    ScaleFreeConfig,
+    allpsc_scenario,
+    arity_scenario,
+    atom_count_scenario,
+    control_scenario,
+    dbsize_scenario,
+    doctors_fd_scenario,
+    doctors_scenario,
+    generate_company_graph,
+    generate_ownership_graph,
+    ibench_scenario,
+    iwarded_scenario,
+    lubm_scenario,
+    psc_scenario,
+    rule_count_scenario,
+    strong_links_scenario,
+)
+
+
+class TestIWarded:
+    def test_all_figure6_configs_present(self):
+        assert set(SCENARIO_CONFIGS) == {
+            "synthA",
+            "synthB",
+            "synthC",
+            "synthD",
+            "synthE",
+            "synthF",
+            "synthG",
+            "synthH",
+        }
+        assert all(c.total_rules == 100 for c in SCENARIO_CONFIGS.values())
+
+    def test_generated_programs_are_warded(self):
+        for name in ("synthA", "synthB", "synthG"):
+            scenario = iwarded_scenario(name, facts_per_predicate=5)
+            assert analyse_program(scenario.program).is_warded
+            assert len(scenario.program.rules) == 100
+
+    def test_rule_mix_reflects_config(self):
+        scenario = iwarded_scenario("synthB", facts_per_predicate=5)
+        summary = analyse_program(scenario.program).summary()
+        assert summary["join_rules"] > summary["linear_rules"]
+        scenario_a = iwarded_scenario("synthA", facts_per_predicate=5)
+        summary_a = analyse_program(scenario_a.program).summary()
+        assert summary_a["linear_rules"] > summary_a["join_rules"]
+
+    def test_generation_is_deterministic(self):
+        first = iwarded_scenario("synthC", facts_per_predicate=5)
+        second = iwarded_scenario("synthC", facts_per_predicate=5)
+        assert str(first.program) == str(second.program)
+        assert len(first.database) == len(second.database)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            iwarded_scenario("synthZ")
+
+
+class TestDbpedia:
+    def test_company_graph_shape(self):
+        database = generate_company_graph(50, 40, seed=3)
+        assert database.size("Company") == 50
+        assert database.size("Person") == 40
+        assert database.size("Control") >= 45
+        assert database.size("KeyPerson") > 0
+
+    def test_psc_scenario_runs(self):
+        row = run_scenario(psc_scenario(n_companies=40, n_persons=30), "vadalog")
+        assert row.output_facts > 0
+
+    def test_allpsc_matches_psc_companies(self):
+        psc_row = run_scenario(psc_scenario(n_companies=30, n_persons=20), "vadalog")
+        allpsc_row = run_scenario(allpsc_scenario(n_companies=30, n_persons=20), "vadalog")
+        assert allpsc_row.output_facts > 0
+        assert allpsc_row.output_facts <= psc_row.output_facts
+
+    def test_strong_links_threshold_monotone(self):
+        lenient = run_scenario(
+            strong_links_scenario(n_companies=25, n_persons=15, threshold=1), "vadalog"
+        )
+        strict = run_scenario(
+            strong_links_scenario(n_companies=25, n_persons=15, threshold=3), "vadalog"
+        )
+        assert strict.output_facts <= lenient.output_facts
+
+
+class TestCompanies:
+    def test_scale_free_parameters_validated(self):
+        with pytest.raises(ValueError):
+            ScaleFreeConfig(alpha=0.5, beta=0.1, gamma=0.1)
+
+    def test_ownership_graph_size(self):
+        database = generate_ownership_graph(60)
+        assert database.size("Company") >= 55
+        assert database.size("Own") > 0
+
+    def test_control_scenario_all_and_query(self):
+        all_row = run_scenario(control_scenario(40, variant="all"), "vadalog")
+        assert all_row.output_facts > 0
+        query_scenario = control_scenario(40, variant="query", query_pairs=5)
+        assert len(query_scenario.params["pairs"]) == 5
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            control_scenario(10, variant="some")
+
+
+class TestIbenchAndChasebench:
+    def test_ibench_scenarios_are_warded(self):
+        for name in ("STB-128", "ONT-256"):
+            scenario = ibench_scenario(name, source_facts=5)
+            analysis = analyse_program(scenario.program)
+            assert analysis.is_warded
+            assert analysis.summary()["existential_rules"] > 0
+
+    def test_ont_larger_than_stb(self):
+        stb = ibench_scenario("STB-128", source_facts=5)
+        ont = ibench_scenario("ONT-256", source_facts=5)
+        assert len(ont.program.rules) > len(stb.program.rules)
+
+    def test_doctors_runs_and_has_outputs(self):
+        row = run_scenario(doctors_scenario(100), "vadalog")
+        assert row.output_facts > 0
+
+    def test_doctors_fd_has_egds(self):
+        scenario = doctors_fd_scenario(100)
+        assert len(scenario.program.egds) == 2
+
+    def test_lubm_hierarchy_inference(self):
+        row = run_scenario(lubm_scenario(200), "vadalog")
+        assert row.output_facts > 0
+
+
+class TestScalingScenarios:
+    def test_dbsize_grows(self):
+        small = dbsize_scenario(5)
+        large = dbsize_scenario(15)
+        assert len(large.database) > len(small.database)
+
+    def test_rule_count_blocks_independent(self):
+        scenario = rule_count_scenario(2, facts_per_predicate=5)
+        assert len(scenario.program.rules) == 200
+        prefixes = {r.label.split("_")[0] for r in scenario.program.rules}
+        assert prefixes == {"B0", "B1"}
+
+    def test_atom_count_widens_join_rules(self):
+        scenario = atom_count_scenario(4, facts_per_predicate=5)
+        widened = [r for r in scenario.program.rules if len(r.relational_body) >= 3]
+        assert widened
+        assert "Pad" in scenario.database.relations()
+
+    def test_arity_padding(self):
+        scenario = arity_scenario(6, facts_per_predicate=5)
+        some_relation = scenario.database.relations()[0]
+        row = scenario.database.relation(some_relation).tuples[0]
+        assert len(row) == 6
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            arity_scenario(1)
+        with pytest.raises(ValueError):
+            atom_count_scenario(1)
+
+
+class TestHarness:
+    def test_engines_constant(self):
+        assert "vadalog" in ENGINES and "graph-bfs" in ENGINES
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(psc_scenario(10, 10), "mystery-engine")
+
+    def test_run_sweep_and_reporting(self):
+        scenario = psc_scenario(n_companies=20, n_persons=10)
+        rows = run_sweep([scenario], engines=("vadalog", "recursive-sql"))
+        assert len(rows) == 2
+        table = format_table(rows_as_dicts(rows), columns=["engine", "elapsed_seconds"])
+        assert "vadalog" in table and "recursive-sql" in table
+        series = format_series(rows, x_key="companies", title="PSC")
+        assert "PSC" in series
+
+    def test_vadalog_and_sql_agree_on_psc(self):
+        scenario = psc_scenario(n_companies=25, n_persons=15)
+        vadalog = run_scenario(scenario, "vadalog")
+        sql = run_scenario(scenario, "recursive-sql")
+        assert vadalog.output_facts == sql.output_facts
+
+    def test_trivial_strategy_row(self):
+        scenario = psc_scenario(n_companies=15, n_persons=10)
+        row = run_scenario(scenario, "vadalog-trivial")
+        assert row.engine == "vadalog-trivial"
+        assert row.extra["isomorphism_checks"] >= 0

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Run the fig5–fig8 benchmark scenarios at small scale, compiled vs naive.
+
+This is the perf-trajectory harness of the repository: it runs every
+benchmark family of the paper's evaluation (Section 6) at laptop scale on
+**both** chase executors — the compiled slot-machine path (the default) and
+the naive interpreted path kept behind ``executor="naive"`` — in the same
+process, and writes ``BENCH_PR1.json`` with per-scenario wall-clock,
+facts/second and the compiled-over-naive speedup.  Future PRs append their
+own ``BENCH_PR<n>.json`` so the perf history stays comparable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full small-scale run
+    PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI smoke (tiny scale)
+    PYTHONPATH=src python benchmarks/run_all.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.reasoner import VadalogReasoner  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    arity_scenario,
+    atom_count_scenario,
+    control_scenario,
+    dbsize_scenario,
+    doctors_scenario,
+    ibench_scenario,
+    iwarded_scenario,
+    lubm_scenario,
+    psc_scenario,
+    rule_count_scenario,
+    strong_links_scenario,
+)
+
+# name -> (figure, chase_heavy, full-scale factory, smoke-scale factory).
+# "chase heavy" marks scenarios whose runtime is dominated by join/chase
+# work (rather than stateful aggregation or answer extraction); these are
+# the ones the compiled executor is expected to speed up ≥ 2×.
+SCENARIOS = {
+    "bench_fig5a_iwarded": (
+        "5a",
+        True,
+        lambda: iwarded_scenario("synthA", facts_per_predicate=8),
+        lambda: iwarded_scenario("synthA", facts_per_predicate=3),
+    ),
+    "bench_fig5b_ibench": (
+        "5b",
+        False,
+        lambda: ibench_scenario("STB-128", source_facts=5),
+        lambda: ibench_scenario("STB-128", source_facts=2),
+    ),
+    "bench_fig5c_psc": (
+        "5c",
+        True,
+        lambda: psc_scenario(n_companies=300, n_persons=150),
+        lambda: psc_scenario(n_companies=20, n_persons=12),
+    ),
+    "bench_fig5d_stronglinks": (
+        "5d",
+        False,
+        lambda: strong_links_scenario(n_companies=50, n_persons=45, threshold=3),
+        lambda: strong_links_scenario(n_companies=12, n_persons=10, threshold=2),
+    ),
+    "bench_fig5gh_doctors": (
+        "5g-h",
+        False,
+        lambda: doctors_scenario(400),
+        lambda: doctors_scenario(60),
+    ),
+    "bench_fig5i_lubm": (
+        "5i",
+        True,
+        lambda: lubm_scenario(2500),
+        lambda: lubm_scenario(100),
+    ),
+    "bench_fig6_control": (
+        "6",
+        False,
+        lambda: control_scenario(120),
+        lambda: control_scenario(30),
+    ),
+    "bench_fig8_scaling": (
+        "8a",
+        True,
+        lambda: dbsize_scenario(20),
+        lambda: dbsize_scenario(6),
+    ),
+    "bench_fig8_rules": (
+        "8b",
+        True,
+        lambda: rule_count_scenario(3, facts_per_predicate=6),
+        lambda: rule_count_scenario(2, facts_per_predicate=3),
+    ),
+    "bench_fig8_atoms": (
+        "8c",
+        True,
+        lambda: atom_count_scenario(6, facts_per_predicate=6),
+        lambda: atom_count_scenario(3, facts_per_predicate=3),
+    ),
+    "bench_fig8_arity": (
+        "8d",
+        True,
+        lambda: arity_scenario(10, facts_per_predicate=8),
+        lambda: arity_scenario(4, facts_per_predicate=3),
+    ),
+}
+
+SPEEDUP_TARGET = 2.0
+
+
+def run_one(factory, executor: str) -> dict:
+    scenario = factory()
+    started = time.perf_counter()
+    reasoner = VadalogReasoner(scenario.program.copy(), executor=executor)
+    result = reasoner.reason(database=scenario.database, outputs=scenario.outputs)
+    elapsed = time.perf_counter() - started
+    total_facts = len(result.chase.store)
+    return {
+        "elapsed_seconds": round(elapsed, 4),
+        "total_facts": total_facts,
+        "derived_facts": len(result.chase.derived_facts()),
+        "facts_per_second": round(total_facts / elapsed, 1) if elapsed > 0 else None,
+        "rounds": result.chase.rounds,
+        "chase_steps": result.chase.chase_steps,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny scale (CI)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--only", nargs="*", help="run only the named scenarios", default=None
+    )
+    args = parser.parse_args(argv)
+
+    rows = {}
+    for name, (figure, chase_heavy, full, smoke) in SCENARIOS.items():
+        if args.only and name not in args.only:
+            continue
+        factory = smoke if args.smoke else full
+        print(f"== {name} (figure {figure})", flush=True)
+        naive = run_one(factory, "naive")
+        compiled = run_one(factory, "compiled")
+        if compiled["total_facts"] != naive["total_facts"]:
+            print(
+                f"   WARNING: fact counts differ "
+                f"(naive={naive['total_facts']}, compiled={compiled['total_facts']})"
+            )
+        speedup = (
+            naive["elapsed_seconds"] / compiled["elapsed_seconds"]
+            if compiled["elapsed_seconds"] > 0
+            else None
+        )
+        rows[name] = {
+            "figure": figure,
+            "chase_heavy": chase_heavy,
+            "naive": naive,
+            "compiled": compiled,
+            "speedup": round(speedup, 2) if speedup else None,
+        }
+        print(
+            f"   naive={naive['elapsed_seconds']:.3f}s "
+            f"compiled={compiled['elapsed_seconds']:.3f}s "
+            f"speedup={speedup:.2f}x facts={compiled['total_facts']}"
+        )
+
+    heavy = {
+        n: r["speedup"]
+        for n, r in rows.items()
+        if r["chase_heavy"] and r["speedup"] is not None
+    }
+    meets = sorted(n for n, s in heavy.items() if s >= SPEEDUP_TARGET)
+    report = {
+        "pr": 1,
+        "description": "compiled slot-machine executor vs naive interpreted chase",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "speedup_target": SPEEDUP_TARGET,
+        "chase_heavy_speedups": heavy,
+        "scenarios_meeting_target": meets,
+        "meets_2x_target_on_two_scenarios": len(meets) >= 2,
+        "scenarios": rows,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"chase-heavy scenarios at ≥{SPEEDUP_TARGET}x: "
+        f"{', '.join(meets) if meets else 'none'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -166,6 +166,20 @@ class Fact(Atom):
                     f"fact {predicate} contains variable {term.name}; facts must be ground"
                 )
 
+    @classmethod
+    def from_ground(cls, predicate: str, terms: Tuple[Term, ...]) -> "Fact":
+        """Hot-path constructor: ``terms`` must already be ground ``Term``s.
+
+        Skips the per-term coercion and groundness validation of ``__init__``;
+        used by the compiled executor, which instantiates heads from slot
+        values that are ground by construction.
+        """
+        obj = cls.__new__(cls)
+        obj.predicate = predicate
+        obj.terms = terms
+        obj._hash = hash((predicate, terms))
+        return obj
+
     @property
     def has_nulls(self) -> bool:
         """True when the fact contains at least one labelled null."""

@@ -80,6 +80,9 @@ class ChaseResult:
     candidate_facts: int = 0
     elapsed_seconds: float = 0.0
 
+    _derived_cache: Optional[Tuple[Fact, ...]] = field(default=None, repr=False, compare=False)
+    _derived_seen: int = field(default=-1, repr=False, compare=False)
+
     def facts(self, predicate: Optional[str] = None) -> Tuple[Fact, ...]:
         """All facts of the result, optionally restricted to one predicate."""
         if predicate is None:
@@ -87,8 +90,15 @@ class ChaseResult:
         return tuple(self.store.by_predicate(predicate))
 
     def derived_facts(self) -> Tuple[Fact, ...]:
-        """Facts produced by rules (excluding the extensional input)."""
-        return tuple(node.fact for node in self.nodes if not node.is_input)
+        """Facts produced by rules (excluding the extensional input).
+
+        The tuple is computed once per node count and cached — ``stats()``
+        and callers iterating the result repeatedly no longer rebuild it.
+        """
+        if self._derived_cache is None or self._derived_seen != len(self.nodes):
+            self._derived_cache = tuple(n.fact for n in self.nodes if not n.is_input)
+            self._derived_seen = len(self.nodes)
+        return self._derived_cache
 
     def node_count(self) -> int:
         return len(self.nodes)
@@ -109,7 +119,20 @@ class ChaseResult:
 
 
 class ChaseEngine:
-    """Materialisation engine guided by a termination strategy."""
+    """Materialisation engine guided by a termination strategy.
+
+    Rule bodies are evaluated by one of two executors:
+
+    ``"compiled"`` (the default)
+        Each rule is compiled once into a slot-machine join plan
+        (:func:`repro.engine.plan.compile_rule_join_plan`) and evaluated by
+        tuple position through the store's dynamic indexes
+        (:class:`repro.engine.joins.CompiledRuleExecutor`).
+    ``"naive"``
+        The original interpreted backtracking matcher building a binding
+        ``dict`` per candidate fact.  Kept as the reference implementation
+        for differential testing and as an escape hatch.
+    """
 
     def __init__(
         self,
@@ -119,17 +142,33 @@ class ChaseEngine:
         analysis: Optional[ProgramAnalysis] = None,
         null_factory: Optional[NullFactory] = None,
         config: Optional[ChaseConfig] = None,
+        executor: str = "compiled",
+        join_plans: Optional[Dict[int, object]] = None,
     ) -> None:
+        if executor not in ("compiled", "naive"):
+            raise ValueError(f"unknown executor {executor!r}; use 'compiled' or 'naive'")
         self.program = program
         self.analysis = analysis or analyse_program(program)
         self.strategy = strategy if strategy is not None else WardedTerminationStrategy()
         self.null_factory = null_factory or NullFactory()
         self.config = config or ChaseConfig()
+        self.executor = executor
         self.aggregates = AggregateRegistry()
         self._database_facts = list(database) + list(program.facts)
         self._rule_analyses: Dict[int, RuleAnalysis] = {
             id(rule): self.analysis.analysis_for(rule) for rule in program.rules
         }
+        self._compiled: Dict[int, object] = {}
+        if executor == "compiled":
+            # Imported lazily: the engine package imports this module.
+            from ..engine.joins import CompiledRuleExecutor
+            from ..engine.plan import compile_rule_join_plan
+
+            for rule in program.rules:
+                plan = join_plans.get(id(rule)) if join_plans else None
+                if plan is None:
+                    plan = compile_rule_join_plan(rule)
+                self._compiled[id(rule)] = CompiledRuleExecutor(plan)
         # Conditions mentioning assignment/aggregate variables can only be
         # evaluated after those values are computed ("post" conditions); the
         # remaining ones are checked while matching the body.
@@ -161,14 +200,12 @@ class ChaseEngine:
         store = FactStore()
         nodes: List[ChaseNode] = []
         node_of: Dict[Fact, ChaseNode] = {}
-        fact_round: Dict[Fact, int] = {}
 
         for fact in self._database_facts:
             if store.add(fact):
                 node = input_node(fact, step=0)
                 nodes.append(node)
                 node_of[fact] = node
-                fact_round[fact] = 0
                 self.strategy.register_input(node)
 
         result = ChaseResult(
@@ -187,13 +224,20 @@ class ChaseEngine:
                 raise ChaseLimitError(
                     f"chase exceeded the configured maximum of {self.config.max_rounds} rounds"
                 )
+            delta_facts = [node.fact for node in delta]
             delta_by_predicate: Dict[str, List[Fact]] = {}
-            for node in delta:
-                delta_by_predicate.setdefault(node.fact.predicate, []).append(node.fact)
+            if self.executor == "compiled":
+                # Stamp the round and build the per-round delta indexes used
+                # by the compiled executors' seed probes.
+                store.begin_round(round_index, delta_facts)
+            else:
+                store.current_round = round_index
+                for fact in delta_facts:
+                    delta_by_predicate.setdefault(fact.predicate, []).append(fact)
             new_nodes: List[ChaseNode] = []
             for rule in self.program.rules:
                 produced = self._apply_rule(
-                    rule, store, node_of, fact_round, delta_by_predicate, round_index, result
+                    rule, store, node_of, delta_by_predicate, round_index, result
                 )
                 new_nodes.extend(produced)
                 if self.config.max_facts is not None and len(store) > self.config.max_facts:
@@ -216,17 +260,21 @@ class ChaseEngine:
         rule: Rule,
         store: FactStore,
         node_of: Dict[Fact, ChaseNode],
-        fact_round: Dict[Fact, int],
         delta_by_predicate: Dict[str, List[Fact]],
         round_index: int,
         result: ChaseResult,
     ) -> List[ChaseNode]:
+        executor = self._compiled.get(id(rule))
+        if executor is not None:
+            return self._apply_rule_compiled(
+                rule, executor, store, node_of, round_index, result
+            )
         analysis = self._rule_analyses[id(rule)]
         produced: List[ChaseNode] = []
         body = rule.relational_body
         for seed_index in range(len(body)):
             for binding, used_facts in self._matches(
-                rule, body, seed_index, store, fact_round, delta_by_predicate, round_index
+                rule, body, seed_index, store, delta_by_predicate, round_index
             ):
                 produced.extend(
                     self._fire(
@@ -236,12 +284,138 @@ class ChaseEngine:
                         used_facts,
                         store,
                         node_of,
-                        fact_round,
                         round_index,
                         result,
                     )
                 )
         return produced
+
+    def _apply_rule_compiled(
+        self,
+        rule: Rule,
+        executor,
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        round_index: int,
+        result: ChaseResult,
+    ) -> List[ChaseNode]:
+        """Hot path: evaluate the rule body through its compiled join plan.
+
+        The executor already evaluated every comparison that only needs body
+        slots.  Rules without computed values or final guards fire straight
+        from the slot array (:meth:`_fire_compiled`); the rest build a dict
+        binding, re-check ``Dom`` guards / residual conditions and go through
+        the generic :meth:`_fire`.
+        """
+        analysis = self._rule_analyses[id(rule)]
+        plan = executor.plan
+        produced: List[ChaseNode] = []
+        if plan.simple_fire:
+            fire = self._fire_compiled
+            for slots, used_facts in executor.matches(store, round_index):
+                fire(
+                    rule, analysis, plan, slots, used_facts,
+                    store, node_of, round_index, result, produced,
+                )
+            return produced
+        residual = plan.residual_conditions
+        for binding, used_facts in executor.bindings(store, round_index):
+            if residual and not all(c.holds(binding) for c in residual):
+                continue
+            if not self._dom_guards_hold(rule, binding, store):
+                continue
+            produced.extend(
+                self._fire(
+                    rule,
+                    analysis,
+                    binding,
+                    used_facts,
+                    store,
+                    node_of,
+                    round_index,
+                    result,
+                )
+            )
+        return produced
+
+    def _fire_compiled(
+        self,
+        rule: Rule,
+        analysis: RuleAnalysis,
+        plan,
+        slots: List[Term],
+        used_facts: List[Fact],
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        round_index: int,
+        result: ChaseResult,
+        produced: List[ChaseNode],
+    ) -> None:
+        """Slot-based firing: instantiate heads positionally, no dict binding.
+
+        Only used for rules whose plan has head templates (no assignments,
+        aggregation, post conditions, ``Dom`` guards or residual conditions);
+        semantically identical to :meth:`_fire` on those rules, including the
+        fresh-null generation order.
+        """
+        if plan.existentials:
+            nulls = tuple(self.null_factory.fresh() for _ in plan.existentials)
+        else:
+            nulls = ()
+        parents = None
+        ward_parent = None
+        contains_row = store.contains_row
+        for predicate, entries in plan.head_templates:
+            result.candidate_facts += 1
+            # Entry kinds from repro.engine.plan: 1 = HEAD_SLOT, 2 = HEAD_NULL,
+            # 0 = HEAD_GROUND (payload is the term itself).
+            terms = tuple(
+                [
+                    slots[payload]
+                    if kind == 1
+                    else (nulls[payload] if kind == 2 else payload)
+                    for kind, payload in entries
+                ]
+            )
+            if contains_row(predicate, terms):
+                continue
+            head_fact = Fact.from_ground(predicate, terms)
+            if parents is None:
+                parents = [node_of[f] for f in used_facts if f in node_of]
+                ward_parent = self._ward_parent(rule, analysis, used_facts, node_of)
+            node = derived_node(
+                fact=head_fact,
+                kind=analysis.kind,
+                rule_label=rule.label or "rule",
+                parents=parents,
+                ward_parent=ward_parent,
+                step=round_index,
+            )
+            if not self.strategy.admit(node):
+                continue
+            store.add(head_fact)
+            node_of[head_fact] = node
+            result.nodes.append(node)
+            result.chase_steps += 1
+            produced.append(node)
+
+    def _ward_parent(
+        self,
+        rule: Rule,
+        analysis: RuleAnalysis,
+        used_facts: List[Fact],
+        node_of: Dict[Fact, ChaseNode],
+    ) -> Optional[ChaseNode]:
+        """The chase node bound to the rule's ward, if any (warded rules)."""
+        if analysis.kind is not RuleKind.WARDED or analysis.ward is None:
+            return None
+        for atom, fact in zip(rule.relational_body, used_facts):
+            if atom is analysis.ward and fact in node_of:
+                return node_of[fact]
+        for atom, fact in zip(rule.relational_body, used_facts):
+            if atom == analysis.ward and fact in node_of:
+                return node_of[fact]
+        return None
 
     def _matches(
         self,
@@ -249,7 +423,6 @@ class ChaseEngine:
         body: Tuple[Atom, ...],
         seed_index: int,
         store: FactStore,
-        fact_round: Dict[Fact, int],
         delta_by_predicate: Dict[str, List[Fact]],
         round_index: int,
         ) -> Iterator[Tuple[Dict[Variable, Term], List[Fact]]]:
@@ -276,7 +449,6 @@ class ChaseEngine:
                 dict(seed_binding),
                 used,
                 store,
-                fact_round,
                 round_index,
                 seed_index,
             )
@@ -289,7 +461,6 @@ class ChaseEngine:
         binding: Dict[Variable, Term],
         used: List[Optional[Fact]],
         store: FactStore,
-        fact_round: Dict[Fact, int],
         round_index: int,
         seed_index: int,
     ) -> Iterator[Tuple[Dict[Variable, Term], List[Fact]]]:
@@ -300,7 +471,7 @@ class ChaseEngine:
         atom_index, atom = other_atoms[position]
         ground_atom = atom.substitute(binding)
         for fact in store.candidates(ground_atom, binding):
-            if atom_index < seed_index and fact_round.get(fact, 0) >= round_index:
+            if atom_index < seed_index and store.round_of(fact) >= round_index:
                 # Atoms before the seed may only use facts from earlier rounds,
                 # otherwise the same join would be enumerated once per seed.
                 continue
@@ -317,7 +488,6 @@ class ChaseEngine:
                 new_binding,
                 used,
                 store,
-                fact_round,
                 round_index,
                 seed_index,
             )
@@ -327,6 +497,20 @@ class ChaseEngine:
         self, rule: Rule, binding: Dict[Variable, Term], store: FactStore
     ) -> bool:
         """Check ``Dom`` guards and comparison conditions for a full body match."""
+        if not self._dom_guards_hold(rule, binding, store):
+            return False
+        post = self._post_conditions.get(id(rule), ())
+        for condition in rule.conditions:
+            if condition in post:
+                continue
+            if not condition.holds(binding):
+                return False
+        return True
+
+    def _dom_guards_hold(
+        self, rule: Rule, binding: Dict[Variable, Term], store: FactStore
+    ) -> bool:
+        """Check the ``Dom`` active-domain guards for a full body match."""
         for guard in rule.dom_guards:
             for term in guard.terms:
                 if isinstance(term, Variable):
@@ -343,12 +527,6 @@ class ChaseEngine:
                         return False
                 elif isinstance(term, Null):
                     return False
-        post = self._post_conditions.get(id(rule), ())
-        for condition in rule.conditions:
-            if condition in post:
-                continue
-            if not condition.holds(binding):
-                return False
         return True
 
     def _post_conditions_hold(self, rule: Rule, binding: Dict[Variable, Term]) -> bool:
@@ -367,7 +545,6 @@ class ChaseEngine:
         used_facts: List[Fact],
         store: FactStore,
         node_of: Dict[Fact, ChaseNode],
-        fact_round: Dict[Fact, int],
         round_index: int,
         result: ChaseResult,
     ) -> List[ChaseNode]:
@@ -391,17 +568,7 @@ class ChaseEngine:
 
         produced: List[ChaseNode] = []
         parents = [node_of[f] for f in used_facts if f in node_of]
-        ward_parent = None
-        if analysis.kind is RuleKind.WARDED and analysis.ward is not None:
-            for atom, fact in zip(rule.relational_body, used_facts):
-                if atom is analysis.ward and fact in node_of:
-                    ward_parent = node_of[fact]
-                    break
-            if ward_parent is None:
-                for atom, fact in zip(rule.relational_body, used_facts):
-                    if atom == analysis.ward and fact in node_of:
-                        ward_parent = node_of[fact]
-                        break
+        ward_parent = self._ward_parent(rule, analysis, used_facts, node_of)
 
         for head_atom in rule.head:
             head_fact = self._instantiate_head(head_atom, full_binding)
@@ -420,7 +587,6 @@ class ChaseEngine:
                 continue
             store.add(head_fact)
             node_of[head_fact] = node
-            fact_round[head_fact] = round_index
             result.nodes.append(node)
             result.chase_steps += 1
             produced.append(node)
@@ -553,7 +719,10 @@ def run_chase(
     database: Iterable[Fact] = (),
     strategy: Optional[TerminationStrategy] = None,
     config: Optional[ChaseConfig] = None,
+    executor: str = "compiled",
 ) -> ChaseResult:
     """One-call helper: build a :class:`ChaseEngine` and run it."""
-    engine = ChaseEngine(program, database, strategy=strategy, config=config)
+    engine = ChaseEngine(
+        program, database, strategy=strategy, config=config, executor=executor
+    )
     return engine.run()

@@ -6,6 +6,13 @@ position, value) built *dynamically* as facts are inserted, mirroring the
 "dynamic indexing" idea of the slot-machine join (Section 4): there is no
 persistent pre-computed index, the indexes grow with the derived facts and
 can be consulted even while incomplete.
+
+The indexes are keyed by the terms themselves (constants, nulls): terms
+cache their hash at construction (:mod:`repro.core.terms`), so a probe costs
+two dictionary lookups and no tuple allocation.  On top of the full indexes
+the store maintains **per-round delta indexes** (:meth:`begin_round`) used
+by the compiled rule executors for semi-naive evaluation, plus the insertion
+round of every fact so executors can restrict probes to earlier rounds.
 """
 
 from __future__ import annotations
@@ -13,16 +20,9 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .atoms import Atom, Fact
-from .terms import Constant, Null, Term, Variable
+from .terms import Constant, Term, Variable
 
-
-def _term_key(term: Term) -> Hashable:
-    """Hashable lookup key of a ground term (constants and nulls are disjoint)."""
-    if isinstance(term, Constant):
-        return ("c", term.value)
-    if isinstance(term, Null):
-        return ("n", term.ident)
-    raise TypeError(f"cannot index non-ground term {term!r}")
+_EMPTY: Tuple[Fact, ...] = ()
 
 
 class FactStore:
@@ -30,24 +30,45 @@ class FactStore:
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._facts: List[Fact] = []
-        self._fact_set: Set[Fact] = set()
+        # Dedup set keyed by (predicate, terms) — the exact equality of Fact
+        # itself — so membership works for whole facts and for rows the
+        # compiled fire path has not turned into Fact objects yet.
+        self._rows: Set[Tuple[str, Tuple[Term, ...]]] = set()
         self._by_predicate: Dict[str, List[Fact]] = {}
-        self._position_index: Dict[Tuple[str, int, Hashable], List[Fact]] = {}
+        # predicate -> list of per-position {term: [facts]} dictionaries
+        self._position_index: Dict[str, List[Dict[Term, List[Fact]]]] = {}
         self._active_domain: Set[Hashable] = set()
+        self._facts_cache: Optional[Tuple[Fact, ...]] = None
+        # -- semi-naive round bookkeeping (driven by the chase engine) -------
+        self.current_round: int = 0
+        self._round_of: Dict[Fact, int] = {}
+        self._delta_by_predicate: Dict[str, List[Fact]] = {}
+        self._delta_index: Dict[str, List[Dict[Term, List[Fact]]]] = {}
         for fact in facts:
             self.add(fact)
 
     # -- mutation ------------------------------------------------------------
     def add(self, fact: Fact) -> bool:
         """Insert a fact; returns ``False`` when an identical fact is present."""
-        if fact in self._fact_set:
+        key = (fact.predicate, fact.terms)
+        if key in self._rows:
             return False
-        self._fact_set.add(fact)
+        self._rows.add(key)
         self._facts.append(fact)
+        self._facts_cache = None
+        self._round_of[fact] = self.current_round
         self._by_predicate.setdefault(fact.predicate, []).append(fact)
+        position_dicts = self._position_index.get(fact.predicate)
+        if position_dicts is None:
+            position_dicts = self._position_index[fact.predicate] = []
+        while len(position_dicts) < len(fact.terms):
+            position_dicts.append({})
         for index, term in enumerate(fact.terms):
-            key = (fact.predicate, index, _term_key(term))
-            self._position_index.setdefault(key, []).append(fact)
+            bucket = position_dicts[index].get(term)
+            if bucket is None:
+                position_dicts[index][term] = [fact]
+            else:
+                bucket.append(fact)
             if isinstance(term, Constant):
                 self._active_domain.add(term.value)
         return True
@@ -58,7 +79,16 @@ class FactStore:
 
     # -- inspection ----------------------------------------------------------
     def __contains__(self, fact: Fact) -> bool:
-        return fact in self._fact_set
+        return (fact.predicate, fact.terms) in self._rows
+
+    def contains_row(self, predicate: str, terms: Tuple[Term, ...]) -> bool:
+        """Duplicate check without constructing a :class:`Fact` object.
+
+        Used by the compiled fire path: most candidate heads are duplicates,
+        and a tuple membership test is far cheaper than building the fact
+        first.
+        """
+        return (predicate, terms) in self._rows
 
     def __len__(self) -> int:
         return len(self._facts)
@@ -67,7 +97,9 @@ class FactStore:
         return iter(self._facts)
 
     def facts(self) -> Tuple[Fact, ...]:
-        return tuple(self._facts)
+        if self._facts_cache is None:
+            self._facts_cache = tuple(self._facts)
+        return self._facts_cache
 
     def predicates(self) -> Tuple[str, ...]:
         return tuple(self._by_predicate)
@@ -85,22 +117,96 @@ class FactStore:
     def in_active_domain(self, value: Hashable) -> bool:
         return value in self._active_domain
 
+    # -- rounds and deltas ---------------------------------------------------
+    def begin_round(self, round_index: int, delta_facts: Iterable[Fact]) -> None:
+        """Start a semi-naive round: stamp new facts and index the delta.
+
+        ``delta_facts`` are the facts derived in the previous round; they are
+        grouped by predicate and indexed per position so compiled executors
+        can seed their joins from the delta with indexed probes.
+        """
+        self.current_round = round_index
+        self._delta_by_predicate = {}
+        self._delta_index = {}
+        for fact in delta_facts:
+            self._delta_by_predicate.setdefault(fact.predicate, []).append(fact)
+
+    def round_of(self, fact: Fact) -> int:
+        """The round in which ``fact`` entered the store (0 for inputs)."""
+        return self._round_of.get(fact, 0)
+
+    def delta_facts(self, predicate: str) -> Sequence[Fact]:
+        """Facts of the current delta (previous round's derivations)."""
+        return self._delta_by_predicate.get(predicate, ())
+
+    def delta_candidates(self, predicate: str, position: int, term: Term) -> Sequence[Fact]:
+        """Delta facts with ``term`` at ``position`` (indexed probe).
+
+        The per-position delta index of a predicate is built lazily on first
+        probe: most seed atoms carry no constants, so eagerly indexing every
+        delta predicate each round would be wasted work.
+        """
+        position_dicts = self._delta_index.get(predicate)
+        if position_dicts is None:
+            position_dicts = self._delta_index[predicate] = []
+            for fact in self._delta_by_predicate.get(predicate, ()):
+                while len(position_dicts) < len(fact.terms):
+                    position_dicts.append({})
+                for index, fact_term in enumerate(fact.terms):
+                    bucket = position_dicts[index].get(fact_term)
+                    if bucket is None:
+                        position_dicts[index][fact_term] = [fact]
+                    else:
+                        bucket.append(fact)
+        if position >= len(position_dicts):
+            return _EMPTY
+        return position_dicts[position].get(term, _EMPTY)
+
     # -- matching ------------------------------------------------------------
+    def position_candidates(self, predicate: str, position: int, term: Term) -> Sequence[Fact]:
+        """Facts of ``predicate`` with ``term`` at ``position`` (indexed probe)."""
+        position_dicts = self._position_index.get(predicate)
+        if position_dicts is None or position >= len(position_dicts):
+            return _EMPTY
+        return position_dicts[position].get(term, _EMPTY)
+
+    def position_dicts(self, predicate: str) -> Optional[List[Dict[Term, List[Fact]]]]:
+        """The raw per-position index of a predicate (``None`` when unknown).
+
+        Exposed for the compiled executor, whose innermost probe loop wants
+        one dictionary access per bound position instead of a method call.
+        """
+        return self._position_index.get(predicate)
+
     def candidates(self, atom: Atom, binding: Dict[Variable, Term]) -> Sequence[Fact]:
         """Facts that could match ``atom`` under the (partial) ``binding``.
 
-        Uses the most selective available position index: the first atom
-        position holding a constant or an already-bound variable.  Falls back
-        to a full scan of the predicate when the atom has no bound position.
+        Uses the most selective available position index: among the atom
+        positions holding a constant or an already-bound variable, the one
+        whose candidate bucket is smallest.  Falls back to a full scan of the
+        predicate when the atom has no bound position.
         """
+        position_dicts = self._position_index.get(atom.predicate)
+        if position_dicts is None:
+            return _EMPTY if atom.predicate not in self._by_predicate else self._by_predicate[atom.predicate]
+        best: Optional[Sequence[Fact]] = None
         for index, term in enumerate(atom.terms):
             if isinstance(term, Variable):
                 bound = binding.get(term)
                 if bound is None:
                     continue
                 term = bound
-            key = (atom.predicate, index, _term_key(term))
-            return self._position_index.get(key, ())
+            if index >= len(position_dicts):
+                return _EMPTY
+            bucket = position_dicts[index].get(term)
+            if bucket is None:
+                return _EMPTY
+            if best is None or len(bucket) < len(best):
+                best = bucket
+                if len(best) <= 1:
+                    break
+        if best is not None:
+            return best
         return self._by_predicate.get(atom.predicate, ())
 
     def matches(self, atom: Atom, binding: Optional[Dict[Variable, Term]] = None) -> Iterator[Dict[Variable, Term]]:

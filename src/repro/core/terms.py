@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Mapping, Tuple, Union
 
 
@@ -49,7 +49,7 @@ class Term:
         return not isinstance(self, Variable)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Constant(Term):
     """A ground constant wrapping an arbitrary hashable Python value.
 
@@ -57,9 +57,29 @@ class Constant(Term):
     types by simply wrapping the corresponding Python value (``int``,
     ``float``, ``str``, ``bool``, ``date`` …) as well as frozen composites
     (tuples, frozensets) for the set/list data types.
+
+    Terms are the keys of every hot index of the engine (fact-store position
+    indexes, join probes, binding slots), so the hash is computed once at
+    construction and cached (the class-specific salt keeps constants, nulls
+    and variables from colliding in mixed dictionaries) and ``__eq__`` takes
+    an identity fast path before comparing values.
     """
 
     value: Any
+    _hash: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("c", self.value)))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Constant:
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Constant({self.value!r})"
@@ -68,11 +88,25 @@ class Constant(Term):
         return repr(self.value) if isinstance(self.value, str) else str(self.value)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Variable(Term):
     """A (universally or existentially quantified) rule variable."""
 
     name: str
+    _hash: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("v", self.name)))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Variable:
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Variable({self.name!r})"
@@ -81,7 +115,7 @@ class Variable(Term):
         return self.name
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Null(Term):
     """A labelled null ``ν_i`` introduced by the chase for an existential.
 
@@ -93,6 +127,20 @@ class Null(Term):
     """
 
     ident: int
+    _hash: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("n", self.ident)))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Null:
+            return self.ident == other.ident
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Null({self.ident})"

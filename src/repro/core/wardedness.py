@@ -101,8 +101,18 @@ class ProgramAnalysis:
         return all(_has_guard(r) for r in self.program.rules)
 
     def analysis_for(self, rule: Rule) -> RuleAnalysis:
+        # Identity lookup first: the chase engine asks once per rule at
+        # construction, and a linear scan with structural rule equality made
+        # engine setup quadratic in the number of rules.
+        by_identity = getattr(self, "_analysis_by_identity", None)
+        if by_identity is None:
+            by_identity = {id(a.rule): a for a in self.rule_analyses}
+            self._analysis_by_identity = by_identity
+        found = by_identity.get(id(rule))
+        if found is not None:
+            return found
         for analysis in self.rule_analyses:
-            if analysis.rule is rule or analysis.rule == rule:
+            if analysis.rule == rule:
                 return analysis
         raise KeyError(f"rule {rule.label or rule} not part of the analysed program")
 

@@ -2,8 +2,17 @@
 
 from .annotations import BindingSet, PostDirective, collect_bindings
 from .buffer import BufferCache, BufferSegment
-from .joins import JoinInput, SlotMachineJoin, hash_join
-from .plan import PlanNode, ReasoningAccessPlan, compile_plan
+from .joins import CompiledRuleExecutor, JoinInput, SlotMachineJoin, hash_join
+from .plan import (
+    AtomStep,
+    PlanNode,
+    ReasoningAccessPlan,
+    RuleJoinPlan,
+    SeedJoinPlan,
+    compile_join_plans,
+    compile_plan,
+    compile_rule_join_plan,
+)
 from .reasoner import ReasoningResult, VadalogReasoner, reason
 from .record_managers import (
     CsvRecordManager,
@@ -20,12 +29,18 @@ __all__ = [
     "collect_bindings",
     "BufferCache",
     "BufferSegment",
+    "CompiledRuleExecutor",
     "JoinInput",
     "SlotMachineJoin",
     "hash_join",
+    "AtomStep",
     "PlanNode",
     "ReasoningAccessPlan",
+    "RuleJoinPlan",
+    "SeedJoinPlan",
+    "compile_join_plans",
     "compile_plan",
+    "compile_rule_join_plan",
     "ReasoningResult",
     "VadalogReasoner",
     "reason",

@@ -20,9 +20,11 @@ The plan is used by the reasoner to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..core.conditions import Comparison
 from ..core.rules import Program, Rule
+from ..core.terms import Term, Variable
 
 
 @dataclass(frozen=True)
@@ -153,6 +155,285 @@ class ReasoningAccessPlan:
         if recursive:
             lines.append(f"  recursive components: {len(recursive)}")
         return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Per-rule join plans (the compiled reasoning access path of Section 4)
+# --------------------------------------------------------------------------
+#
+# A rule is compiled once, at reasoner construction, into a
+# :class:`RuleJoinPlan`: body variables are numbered into *slots* and every
+# body atom becomes an :class:`AtomStep` — a purely positional recipe saying,
+# for each candidate fact, which positions must equal a constant, which must
+# equal an already-filled slot (the join key), which must repeat a position of
+# the same fact, and which positions fill new slots.  At runtime the executor
+# (:mod:`repro.engine.joins`) walks the steps with a single mutable slot
+# array: no ``dict`` copies, no ``atom.substitute``/``atom.match`` object
+# churn per candidate fact.
+#
+# Semi-naive evaluation needs one decomposition per *seed* atom (the atom
+# matched against the previous round's delta), so a plan holds one
+# :class:`SeedJoinPlan` per body atom; within each, the remaining atoms are
+# greedily selectivity-ordered (most bound positions first) unless the rule
+# carries a stateful monotonic aggregation, whose value stream is
+# enumeration-order sensitive — those keep the textual body order so the
+# compiled and interpreted paths remain fact-for-fact comparable.
+
+
+@dataclass(frozen=True)
+class CompiledCondition:
+    """A body comparison plus the slots feeding its variables."""
+
+    comparison: Comparison
+    var_slots: Tuple[Tuple[Variable, int], ...]
+
+    def holds(self, slots: List[Optional[Term]]) -> bool:
+        return self.comparison.holds({v: slots[i] for v, i in self.var_slots})
+
+
+@dataclass(frozen=True)
+class AtomStep:
+    """One probe step of a compiled join: positional checks and slot writes."""
+
+    atom_index: int  # index in ``rule.relational_body`` (textual order)
+    predicate: str
+    arity: int
+    const_checks: Tuple[Tuple[int, Term], ...]  # fact[pos] == ground term
+    bound_checks: Tuple[Tuple[int, int], ...]  # fact[pos] == slots[slot] (join key)
+    same_checks: Tuple[Tuple[int, int], ...]  # fact[pos] == fact[pos0] (repeated var)
+    writes: Tuple[Tuple[int, int], ...]  # slots[slot] = fact[pos]
+    conditions: Tuple[CompiledCondition, ...]  # comparisons decidable after this step
+
+
+@dataclass(frozen=True)
+class SeedJoinPlan:
+    """One semi-naive decomposition: a delta-seeded step plus ordered probes."""
+
+    seed: AtomStep
+    probes: Tuple[AtomStep, ...]
+
+
+# Head-template entry kinds: how each head position is filled at fire time.
+HEAD_GROUND = 0  # payload: the ground term itself
+HEAD_SLOT = 1  # payload: body slot index
+HEAD_NULL = 2  # payload: index into the per-firing fresh-null tuple
+
+
+@dataclass(frozen=True)
+class RuleJoinPlan:
+    """Everything the executor needs to evaluate one rule's body."""
+
+    rule: Rule
+    variables: Tuple[Variable, ...]  # slot order: slot i holds variables[i]
+    slot_of: Mapping[Variable, int]
+    seed_plans: Tuple[SeedJoinPlan, ...]
+    residual_conditions: Tuple[Comparison, ...]  # not decidable from slots alone
+    body_length: int
+    existentials: Tuple[Variable, ...]  # precomputed rule.existential_variables()
+    # One (predicate, entries) template per head atom; None when the rule
+    # needs the generic dict-binding fire path (assignments, aggregation,
+    # post conditions, Dom guards or residual conditions).
+    head_templates: Optional[Tuple[Tuple[str, Tuple[Tuple[int, object], ...]], ...]]
+
+    @property
+    def simple_fire(self) -> bool:
+        """True when heads can be instantiated straight from the slot array."""
+        return self.head_templates is not None
+
+
+def _compile_step(
+    atom,
+    atom_index: int,
+    slot_of: Mapping[Variable, int],
+    bound_slots: Set[int],
+) -> Tuple[AtomStep, Set[int]]:
+    """Compile one atom given the slots already bound; returns the new bound set."""
+    const_checks: List[Tuple[int, Term]] = []
+    bound_checks: List[Tuple[int, int]] = []
+    same_checks: List[Tuple[int, int]] = []
+    writes: List[Tuple[int, int]] = []
+    first_occurrence: Dict[Variable, int] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            slot = slot_of[term]
+            if slot in bound_slots:
+                bound_checks.append((pos, slot))
+            elif term in first_occurrence:
+                same_checks.append((pos, first_occurrence[term]))
+            else:
+                first_occurrence[term] = pos
+                writes.append((pos, slot))
+        else:
+            const_checks.append((pos, term))
+    step = AtomStep(
+        atom_index=atom_index,
+        predicate=atom.predicate,
+        arity=atom.arity,
+        const_checks=tuple(const_checks),
+        bound_checks=tuple(bound_checks),
+        same_checks=tuple(same_checks),
+        writes=tuple(writes),
+        conditions=(),
+    )
+    return step, bound_slots | {slot for _, slot in writes}
+
+
+def _selectivity_order(
+    atoms: List[Tuple[int, object]],
+    slot_of: Mapping[Variable, int],
+    bound_slots: Set[int],
+) -> List[Tuple[int, object]]:
+    """Greedy join order: prefer atoms with the most bound positions.
+
+    Ties break towards fewer fresh variables (smaller intermediate results)
+    and then textual order, keeping the order deterministic.
+    """
+    remaining = list(atoms)
+    ordered: List[Tuple[int, object]] = []
+    bound = set(bound_slots)
+    while remaining:
+
+        def score(entry: Tuple[int, object]) -> Tuple[int, int, int]:
+            index, atom = entry
+            bound_positions = 0
+            fresh = set()
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    slot = slot_of[term]
+                    if slot in bound:
+                        bound_positions += 1
+                    else:
+                        fresh.add(slot)
+                else:
+                    bound_positions += 1
+            return (-bound_positions, len(fresh), index)
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        for term in best[1].terms:
+            if isinstance(term, Variable):
+                bound.add(slot_of[term])
+    return ordered
+
+
+def _attach_conditions(
+    steps: List[AtomStep],
+    conditions: Sequence[Comparison],
+    slot_of: Mapping[Variable, int],
+) -> List[AtomStep]:
+    """Push each comparison down to the earliest step that binds its variables."""
+    from dataclasses import replace
+
+    pending = list(conditions)
+    bound: Set[int] = set()
+    attached: List[AtomStep] = []
+    for step in steps:
+        bound |= {slot for _, slot in step.writes}
+        ready: List[CompiledCondition] = []
+        for condition in list(pending):
+            needed = condition.variables()
+            if all(v in slot_of and slot_of[v] in bound for v in needed):
+                pending.remove(condition)
+                ready.append(
+                    CompiledCondition(condition, tuple((v, slot_of[v]) for v in needed))
+                )
+        attached.append(replace(step, conditions=tuple(ready)) if ready else step)
+    return attached
+
+
+def compile_rule_join_plan(rule: Rule) -> RuleJoinPlan:
+    """Compile a rule into its slot-machine join plan (done once per rule)."""
+    body = rule.relational_body
+    slot_of: Dict[Variable, int] = {}
+    for atom in body:
+        for variable in atom.variables():
+            slot_of.setdefault(variable, len(slot_of))
+    variables = tuple(sorted(slot_of, key=slot_of.get))
+
+    # Conditions mentioning assignment/aggregate variables are evaluated by
+    # the chase after those values are computed; conditions over slots are
+    # pushed into the join; the rest (e.g. over Dom-guard-only variables)
+    # stay residual and are checked on the final binding, like the
+    # interpreted path does.
+    body_vars = set(rule.body_variables())
+    pre_conditions = [
+        c for c in rule.conditions if all(v in body_vars for v in c.variables())
+    ]
+    pushable = [c for c in pre_conditions if all(v in slot_of for v in c.variables())]
+    residual = tuple(c for c in pre_conditions if c not in pushable)
+
+    # Monotonic aggregations are stateful: the order in which matches are
+    # enumerated determines the intermediate aggregate values, so reordering
+    # the body would change the derived fact stream.  Keep textual order.
+    reorder = rule.aggregate is None
+
+    seed_plans: List[SeedJoinPlan] = []
+    for seed_index in range(len(body)):
+        seed_step, bound = _compile_step(body[seed_index], seed_index, slot_of, set())
+        others = [(i, a) for i, a in enumerate(body) if i != seed_index]
+        if reorder:
+            others = _selectivity_order(others, slot_of, bound)
+        probe_steps: List[AtomStep] = []
+        for atom_index, atom in others:
+            step, bound = _compile_step(atom, atom_index, slot_of, bound)
+            probe_steps.append(step)
+        steps = _attach_conditions([seed_step] + probe_steps, pushable, slot_of)
+        seed_plans.append(SeedJoinPlan(seed=steps[0], probes=tuple(steps[1:])))
+
+    existentials = rule.existential_variables()
+
+    # Rules whose firing needs no computed values and no final guard checks
+    # get positional head templates so the executor can instantiate head
+    # facts straight from the slot array, without a dict binding.
+    head_templates = None
+    post_conditions = [c for c in rule.conditions if c not in pre_conditions]
+    if (
+        not rule.assignments
+        and rule.aggregate is None
+        and not post_conditions
+        and not residual
+        and not rule.dom_guards
+    ):
+        null_index = {v: i for i, v in enumerate(existentials)}
+        templates = []
+        for head_atom in rule.head:
+            entries: List[Tuple[int, object]] = []
+            for term in head_atom.terms:
+                if isinstance(term, Variable):
+                    if term in slot_of:
+                        entries.append((HEAD_SLOT, slot_of[term]))
+                    elif term in null_index:
+                        entries.append((HEAD_NULL, null_index[term]))
+                    else:
+                        # A head variable that is neither bound nor
+                        # existential would make the rule unsafe; let the
+                        # generic path raise the usual error.
+                        templates = None
+                        break
+                else:
+                    entries.append((HEAD_GROUND, term))
+            if templates is None:
+                break
+            templates.append((head_atom.predicate, tuple(entries)))
+        if templates is not None:
+            head_templates = tuple(templates)
+
+    return RuleJoinPlan(
+        rule=rule,
+        variables=variables,
+        slot_of=slot_of,
+        seed_plans=tuple(seed_plans),
+        residual_conditions=residual,
+        body_length=len(body),
+        existentials=existentials,
+        head_templates=head_templates,
+    )
+
+
+def compile_join_plans(program: Program) -> Dict[int, RuleJoinPlan]:
+    """Compile every rule of a program, keyed by rule identity."""
+    return {id(rule): compile_rule_join_plan(rule) for rule in program.rules}
 
 
 def compile_plan(program: Program) -> ReasoningAccessPlan:

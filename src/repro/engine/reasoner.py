@@ -10,9 +10,13 @@ the four compilation steps of the pipeline architecture:
    (:mod:`repro.engine.plan`);
 3. the **execution optimizer** orders the rule filters (round-robin order
    from the scheduler, producers before consumers);
-4. the **query compiler / executor** runs the chase with the warded
-   termination strategy (Algorithm 1) and extracts the answers, applying the
-   post-processing annotations.
+4. the **query compiler / executor** compiles every rule body into a
+   slot-machine join plan (:func:`repro.engine.plan.compile_join_plans` —
+   selectivity-ordered atoms, variable→slot maps, join-key positions), runs
+   the chase through the compiled executors with the warded termination
+   strategy (Algorithm 1) and extracts the answers, applying the
+   post-processing annotations.  Pass ``executor="naive"`` to fall back to
+   the interpreted matcher (the reference path for differential testing).
 
 Typical usage::
 
@@ -49,7 +53,7 @@ from ..core.transform import is_auxiliary_predicate, normalize_for_chase
 from ..core.wardedness import ProgramAnalysis, analyse_program
 from ..storage.database import Database
 from .annotations import apply_post_directives, collect_bindings, load_bound_facts
-from .plan import ReasoningAccessPlan, compile_plan
+from .plan import ReasoningAccessPlan, RuleJoinPlan, compile_join_plans, compile_plan
 from .scheduler import RoundRobinScheduler, SchedulerReport
 from .wrappers import WrapperRegistry
 
@@ -96,13 +100,17 @@ class VadalogReasoner:
         normalize: bool = True,
         chase_config: Optional[ChaseConfig] = None,
         base_path: Optional[str] = None,
+        executor: str = "compiled",
     ) -> None:
+        if executor not in ("compiled", "naive"):
+            raise ValueError(f"unknown executor {executor!r}; use 'compiled' or 'naive'")
         self.original_program = parse_program(program) if isinstance(program, str) else program
         self._strategy_spec = strategy
         self.eliminate_harmful = eliminate_harmful
         self.normalize = normalize
         self.chase_config = chase_config or ChaseConfig()
         self.base_path = base_path
+        self.executor = executor
         self.warnings: List[str] = []
         self.harmful_join_rewriting: Optional[HarmfulJoinEliminationResult] = None
 
@@ -112,6 +120,11 @@ class VadalogReasoner:
         self.scheduler = RoundRobinScheduler(self.plan, self.program)
         self.scheduler_report = self.scheduler.schedule()
         self._order_rules(self.scheduler_report)
+        # Step 4a (query compiler): compile every rule body into its
+        # slot-machine join plan once; reasoning runs reuse the plans.
+        self.join_plans: Dict[int, RuleJoinPlan] = (
+            compile_join_plans(self.program) if executor == "compiled" else {}
+        )
 
     # -------------------------------------------------------------- compilation
     def _optimize(self, program: Program) -> Program:
@@ -182,6 +195,8 @@ class VadalogReasoner:
             strategy=chosen,
             analysis=self.analysis,
             config=self.chase_config,
+            executor=self.executor,
+            join_plans=self.join_plans,
         )
         chase_result = engine.run()
         timings["chase"] = time.perf_counter() - chase_started
@@ -258,7 +273,8 @@ def reason(
     outputs: Optional[Iterable[str]] = None,
     certain: bool = False,
     strategy: Union[str, TerminationStrategy, None] = "warded",
+    executor: str = "compiled",
 ) -> ReasoningResult:
     """One-call helper: build a :class:`VadalogReasoner` and run it."""
-    reasoner = VadalogReasoner(program, strategy=strategy)
+    reasoner = VadalogReasoner(program, strategy=strategy, executor=executor)
     return reasoner.reason(database=database, outputs=outputs, certain=certain)

@@ -1,18 +1,26 @@
 #!/usr/bin/env python
-"""Run the fig5–fig8 benchmark scenarios at small scale, compiled vs naive.
+"""Run the fig5–fig8 benchmark scenarios at small scale across executors.
 
 This is the perf-trajectory harness of the repository: it runs every
 benchmark family of the paper's evaluation (Section 6) at laptop scale on
-**both** chase executors — the compiled slot-machine path (the default) and
-the naive interpreted path kept behind ``executor="naive"`` — in the same
-process, and writes ``BENCH_PR1.json`` with per-scenario wall-clock,
-facts/second and the compiled-over-naive speedup.  Future PRs append their
-own ``BENCH_PR<n>.json`` so the perf history stays comparable.
+the selected chase executors — ``naive`` (interpreted), ``compiled`` (the
+slot-machine default) and ``streaming`` (the pull-based pipeline of PR 2) —
+in the same process, and writes ``BENCH_PR2.json`` with per-scenario
+wall-clock, facts/second and compiled-over-naive speedups, each row tagged
+with its executor name.
+
+For the streaming executor the report adds the **streaming-vs-
+materialization** comparison: the wall-clock latency until the first answer
+fact reaches a sink and the number of facts resident at that moment,
+against the full materialization size of the compiled chase.  On
+recursion-heavy scenarios streaming must reach a first answer while holding
+strictly fewer resident facts than full materialization.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py            # full small-scale run
-    PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI smoke (tiny scale)
+    PYTHONPATH=src python benchmarks/run_all.py              # full small-scale run
+    PYTHONPATH=src python benchmarks/run_all.py --smoke      # CI smoke (tiny scale)
+    PYTHONPATH=src python benchmarks/run_all.py --executor compiled streaming
     PYTHONPATH=src python benchmarks/run_all.py -o out.json
 """
 
@@ -27,7 +35,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.engine.reasoner import VadalogReasoner  # noqa: E402
+from repro.engine.reasoner import EXECUTORS, VadalogReasoner  # noqa: E402
 from repro.workloads import (  # noqa: E402
     arity_scenario,
     atom_count_scenario,
@@ -42,13 +50,16 @@ from repro.workloads import (  # noqa: E402
     strong_links_scenario,
 )
 
-# name -> (figure, chase_heavy, full-scale factory, smoke-scale factory).
+# name -> (figure, chase_heavy, recursion_heavy, full-scale factory, smoke factory).
 # "chase heavy" marks scenarios whose runtime is dominated by join/chase
-# work (rather than stateful aggregation or answer extraction); these are
-# the ones the compiled executor is expected to speed up ≥ 2×.
+# work (the compiled executor is expected to speed those up ≥ 2×);
+# "recursion heavy" marks scenarios with deep recursive derivations, where
+# the streaming pipeline must reach a first answer while resident facts are
+# still a fraction of the full materialization.
 SCENARIOS = {
     "bench_fig5a_iwarded": (
         "5a",
+        True,
         True,
         lambda: iwarded_scenario("synthA", facts_per_predicate=8),
         lambda: iwarded_scenario("synthA", facts_per_predicate=3),
@@ -56,11 +67,13 @@ SCENARIOS = {
     "bench_fig5b_ibench": (
         "5b",
         False,
+        False,
         lambda: ibench_scenario("STB-128", source_facts=5),
         lambda: ibench_scenario("STB-128", source_facts=2),
     ),
     "bench_fig5c_psc": (
         "5c",
+        True,
         True,
         lambda: psc_scenario(n_companies=300, n_persons=150),
         lambda: psc_scenario(n_companies=20, n_persons=12),
@@ -68,11 +81,13 @@ SCENARIOS = {
     "bench_fig5d_stronglinks": (
         "5d",
         False,
+        False,
         lambda: strong_links_scenario(n_companies=50, n_persons=45, threshold=3),
         lambda: strong_links_scenario(n_companies=12, n_persons=10, threshold=2),
     ),
     "bench_fig5gh_doctors": (
         "5g-h",
+        False,
         False,
         lambda: doctors_scenario(400),
         lambda: doctors_scenario(60),
@@ -80,17 +95,20 @@ SCENARIOS = {
     "bench_fig5i_lubm": (
         "5i",
         True,
+        True,
         lambda: lubm_scenario(2500),
         lambda: lubm_scenario(100),
     ),
     "bench_fig6_control": (
         "6",
         False,
+        True,
         lambda: control_scenario(120),
         lambda: control_scenario(30),
     ),
     "bench_fig8_scaling": (
         "8a",
+        True,
         True,
         lambda: dbsize_scenario(20),
         lambda: dbsize_scenario(6),
@@ -98,17 +116,20 @@ SCENARIOS = {
     "bench_fig8_rules": (
         "8b",
         True,
+        True,
         lambda: rule_count_scenario(3, facts_per_predicate=6),
         lambda: rule_count_scenario(2, facts_per_predicate=3),
     ),
     "bench_fig8_atoms": (
         "8c",
         True,
+        True,
         lambda: atom_count_scenario(6, facts_per_predicate=6),
         lambda: atom_count_scenario(3, facts_per_predicate=3),
     ),
     "bench_fig8_arity": (
         "8d",
+        True,
         True,
         lambda: arity_scenario(10, facts_per_predicate=8),
         lambda: arity_scenario(4, facts_per_predicate=3),
@@ -125,13 +146,42 @@ def run_one(factory, executor: str) -> dict:
     result = reasoner.reason(database=scenario.database, outputs=scenario.outputs)
     elapsed = time.perf_counter() - started
     total_facts = len(result.chase.store)
-    return {
+    row = {
+        "executor": executor,
         "elapsed_seconds": round(elapsed, 4),
         "total_facts": total_facts,
         "derived_facts": len(result.chase.derived_facts()),
         "facts_per_second": round(total_facts / elapsed, 1) if elapsed > 0 else None,
         "rounds": result.chase.rounds,
         "chase_steps": result.chase.chase_steps,
+        "answers": len(result.answers),
+    }
+    if executor == "streaming":
+        extra = result.chase.extra_stats
+        row["pruned_rules"] = extra.get("pipeline_pruned_rules")
+        row["facts_pulled"] = extra.get("pipeline_facts_pulled")
+        row["pull_protocol"] = extra.get("pull_protocol")
+    return row
+
+
+def run_first_answer(factory) -> dict:
+    """Measure the lazy streaming path: latency + residency at first answer."""
+    scenario = factory()
+    reasoner = VadalogReasoner(scenario.program.copy(), executor="streaming")
+    started = time.perf_counter()
+    lazy = reasoner.stream(database=scenario.database, outputs=scenario.outputs)
+    first = lazy.first_answer()
+    latency = time.perf_counter() - started
+    facts_at_first = len(lazy.chase.store)
+    lazy.complete()
+    return {
+        "first_answer_seconds": round(latency, 4),
+        "found_answer": first is not None,
+        "facts_at_first_answer": facts_at_first,
+        "facts_at_completion": len(lazy.chase.store),
+        "peak_resident_buffer_items": lazy.chase.extra_stats.get(
+            "pipeline_peak_resident_buffer_items"
+        ),
     }
 
 
@@ -141,69 +191,130 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o",
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
         "--only", nargs="*", help="run only the named scenarios", default=None
     )
+    parser.add_argument(
+        "--executor",
+        nargs="*",
+        choices=list(EXECUTORS),
+        default=list(EXECUTORS),
+        help="which executors to benchmark (default: all three)",
+    )
     args = parser.parse_args(argv)
 
+    executors = list(dict.fromkeys(args.executor))
     rows = {}
-    for name, (figure, chase_heavy, full, smoke) in SCENARIOS.items():
+    for name, (figure, chase_heavy, recursion_heavy, full, smoke) in SCENARIOS.items():
         if args.only and name not in args.only:
             continue
         factory = smoke if args.smoke else full
         print(f"== {name} (figure {figure})", flush=True)
-        naive = run_one(factory, "naive")
-        compiled = run_one(factory, "compiled")
-        if compiled["total_facts"] != naive["total_facts"]:
-            print(
-                f"   WARNING: fact counts differ "
-                f"(naive={naive['total_facts']}, compiled={compiled['total_facts']})"
-            )
-        speedup = (
-            naive["elapsed_seconds"] / compiled["elapsed_seconds"]
-            if compiled["elapsed_seconds"] > 0
-            else None
-        )
-        rows[name] = {
+        runs = {executor: run_one(factory, executor) for executor in executors}
+        baseline_name = "naive" if "naive" in runs else ("compiled" if "compiled" in runs else None)
+        baseline = runs.get(baseline_name) if baseline_name else None
+        fact_counts = {
+            executor: run["total_facts"]
+            for executor, run in runs.items()
+            if executor != "streaming"  # streaming prunes irrelevant inputs
+        }
+        if len(set(fact_counts.values())) > 1:
+            print(f"   WARNING: fact counts differ across executors: {fact_counts}")
+        speedups = {}
+        if baseline is not None:
+            for executor, run in runs.items():
+                if run is baseline or run["elapsed_seconds"] <= 0:
+                    continue
+                speedups[executor] = round(
+                    baseline["elapsed_seconds"] / run["elapsed_seconds"], 2
+                )
+        row = {
             "figure": figure,
             "chase_heavy": chase_heavy,
-            "naive": naive,
-            "compiled": compiled,
-            "speedup": round(speedup, 2) if speedup else None,
+            "recursion_heavy": recursion_heavy,
+            "executors": runs,
+            # The baseline the speedups are measured against is named
+            # explicitly: with --executor excluding naive it is compiled.
+            "speedup_baseline": baseline_name,
+            "speedups": speedups,
         }
-        print(
-            f"   naive={naive['elapsed_seconds']:.3f}s "
-            f"compiled={compiled['elapsed_seconds']:.3f}s "
-            f"speedup={speedup:.2f}x facts={compiled['total_facts']}"
+        if "streaming" in executors:
+            row["streaming_first_answer"] = run_first_answer(factory)
+        rows[name] = row
+        summary = " ".join(
+            f"{executor}={run['elapsed_seconds']:.3f}s" for executor, run in runs.items()
         )
+        print(f"   {summary}")
+        if "streaming_first_answer" in row:
+            fa = row["streaming_first_answer"]
+            print(
+                f"   first-answer: {fa['first_answer_seconds']:.4f}s holding "
+                f"{fa['facts_at_first_answer']} facts "
+                f"(completion: {fa['facts_at_completion']})"
+            )
 
     heavy = {
-        n: r["speedup"]
-        for n, r in rows.items()
-        if r["chase_heavy"] and r["speedup"] is not None
+        name: row["speedups"].get("compiled")
+        for name, row in rows.items()
+        if row["chase_heavy"]
+        and row["speedup_baseline"] == "naive"
+        and row["speedups"].get("compiled")
     }
-    meets = sorted(n for n, s in heavy.items() if s >= SPEEDUP_TARGET)
+    meets = sorted(n for n, s in heavy.items() if s and s >= SPEEDUP_TARGET)
+
+    # Streaming-vs-materialization: on recursion-heavy scenarios the pipeline
+    # must reach its first answer while resident facts are strictly below the
+    # compiled chase's full materialization.
+    streaming_wins = []
+    for name, row in rows.items():
+        fa = row.get("streaming_first_answer")
+        compiled = row["executors"].get("compiled")
+        if not fa or not compiled or not fa["found_answer"]:
+            continue
+        if row["recursion_heavy"] and fa["facts_at_first_answer"] < compiled["total_facts"]:
+            streaming_wins.append(
+                {
+                    "scenario": name,
+                    "facts_at_first_answer": fa["facts_at_first_answer"],
+                    "materialized_facts": compiled["total_facts"],
+                    "residency_ratio": round(
+                        fa["facts_at_first_answer"] / compiled["total_facts"], 4
+                    ),
+                    "first_answer_seconds": fa["first_answer_seconds"],
+                    "full_chase_seconds": compiled["elapsed_seconds"],
+                }
+            )
+
     report = {
-        "pr": 1,
-        "description": "compiled slot-machine executor vs naive interpreted chase",
+        "pr": 2,
+        "description": "streaming pipeline executor vs compiled/naive materialization",
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "executors": executors,
         "speedup_target": SPEEDUP_TARGET,
         "chase_heavy_speedups": heavy,
         "scenarios_meeting_target": meets,
         "meets_2x_target_on_two_scenarios": len(meets) >= 2,
+        "streaming_vs_materialization": streaming_wins,
+        "streaming_fewer_resident_on_two_recursion_heavy": len(streaming_wins) >= 2,
         "scenarios": rows,
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
-    print(
-        f"chase-heavy scenarios at ≥{SPEEDUP_TARGET}x: "
-        f"{', '.join(meets) if meets else 'none'}"
-    )
+    if heavy:
+        print(
+            f"chase-heavy scenarios at ≥{SPEEDUP_TARGET}x: "
+            f"{', '.join(meets) if meets else 'none'}"
+        )
+    if "streaming" in executors:
+        print(
+            f"streaming holds fewer resident facts at first answer on "
+            f"{len(streaming_wins)} recursion-heavy scenario(s)"
+        )
     return 0
 
 

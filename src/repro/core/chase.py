@@ -79,6 +79,16 @@ class ChaseResult:
     chase_steps: int = 0
     candidate_facts: int = 0
     elapsed_seconds: float = 0.0
+    #: Which evaluation path produced the result ("compiled", "naive" or
+    #: "streaming"); benchmark rows and diagnostics report it.
+    executor: str = ""
+    #: Wall-clock seconds until the first answer fact reached a sink
+    #: (streaming runs only; the materializing chase has no earlier answer
+    #: than its completion).
+    first_answer_seconds: Optional[float] = None
+    #: Extra counters attached by non-chase executors (e.g. the streaming
+    #: pipeline's pull/buffer statistics), merged into :meth:`stats`.
+    extra_stats: Dict[str, object] = field(default_factory=dict)
 
     _derived_cache: Optional[Tuple[Fact, ...]] = field(default=None, repr=False, compare=False)
     _derived_seen: int = field(default=-1, repr=False, compare=False)
@@ -114,6 +124,11 @@ class ChaseResult:
             "violations": len(self.violations),
             "strategy": self.strategy.name,
         }
+        if self.executor:
+            data["executor"] = self.executor
+        if self.first_answer_seconds is not None:
+            data["first_answer_seconds"] = self.first_answer_seconds
+        data.update(self.extra_stats)
         data.update({f"strategy_{k}": v for k, v in self.strategy.stats.as_dict().items()})
         return data
 
@@ -214,6 +229,7 @@ class ChaseEngine:
             program=self.program,
             strategy=self.strategy,
             aggregates=self.aggregates,
+            executor=self.executor,
         )
 
         round_index = 0
@@ -247,10 +263,7 @@ class ChaseEngine:
             delta = new_nodes
         result.rounds = round_index
 
-        if self.config.apply_egds and self.program.egds:
-            self._apply_egds(result)
-        if self.config.check_constraints and self.program.constraints:
-            self._check_constraints(result)
+        self.check_violations(result)
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -537,6 +550,45 @@ class ChaseEngine:
         return True
 
     # ----------------------------------------------------------------- firing
+    def fire_binding(
+        self,
+        rule: Rule,
+        binding: Dict[Variable, Term],
+        used_facts: List[Fact],
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        step: int,
+        result: ChaseResult,
+        admit=None,
+    ) -> List[ChaseNode]:
+        """Fire ``rule`` on a full body ``binding`` against an external store.
+
+        This is the reusable chase-step kernel: assignments, aggregations,
+        post conditions, fresh-null generation, forest metadata and the
+        termination check all happen here.  The streaming pipeline executor
+        (:mod:`repro.engine.pipeline`) matches rule bodies itself and funnels
+        every match through this method so both executors share one firing
+        semantics.  ``admit`` overrides the termination oracle (the pipeline
+        passes its per-filter :class:`~repro.engine.wrappers.TerminationWrapper`).
+        """
+        analysis = self._rule_analyses[id(rule)]
+        return self._fire(
+            rule, analysis, binding, used_facts, store, node_of, step, result, admit=admit
+        )
+
+    def dom_guards_hold(
+        self, rule: Rule, binding: Dict[Variable, Term], store: FactStore
+    ) -> bool:
+        """Public alias of the ``Dom`` active-domain guard check."""
+        return self._dom_guards_hold(rule, binding, store)
+
+    def check_violations(self, result: ChaseResult) -> None:
+        """Run the deferred EGD and negative-constraint checks on ``result``."""
+        if self.config.apply_egds and self.program.egds:
+            self._apply_egds(result)
+        if self.config.check_constraints and self.program.constraints:
+            self._check_constraints(result)
+
     def _fire(
         self,
         rule: Rule,
@@ -547,6 +599,7 @@ class ChaseEngine:
         node_of: Dict[Fact, ChaseNode],
         round_index: int,
         result: ChaseResult,
+        admit=None,
     ) -> List[ChaseNode]:
         full_binding = dict(binding)
         try:
@@ -566,6 +619,8 @@ class ChaseEngine:
         for variable in existentials:
             full_binding[variable] = self.null_factory.fresh()
 
+        if admit is None:
+            admit = self.strategy.admit
         produced: List[ChaseNode] = []
         parents = [node_of[f] for f in used_facts if f in node_of]
         ward_parent = self._ward_parent(rule, analysis, used_facts, node_of)
@@ -583,7 +638,7 @@ class ChaseEngine:
                 ward_parent=ward_parent,
                 step=round_index,
             )
-            if not self.strategy.admit(node):
+            if not admit(node):
                 continue
             store.add(head_fact)
             node_of[head_fact] = node

@@ -75,49 +75,73 @@ class AnswerSet:
 def _final_aggregate_facts(
     facts: Sequence[Fact], aggregated_positions: Dict[int, str]
 ) -> List[Fact]:
-    """Keep only the final (max/min) aggregate value per group.
+    """Keep only the final aggregate value per group.
 
     ``aggregated_positions`` maps a position index of the predicate to the
     aggregation function computing it.  The group is identified by all other
-    positions.
+    positions.  Numeric aggregates reduce to the extreme value
+    (max for increasing, min for decreasing functions); set aggregates
+    (``munion``) reduce to the **union** of every observed value — several
+    rules deriving the same predicate produce independent accumulation
+    chains whose running sets are mutually incomparable, and the monotonic
+    fixpoint joins them all, independently of the order in which the chase
+    (or the streaming pipeline) enumerated the contributions.
     """
     if not aggregated_positions:
         return list(facts)
-    best: Dict[Hashable, Fact] = {}
+    representative: Dict[Hashable, Fact] = {}
+    merged: Dict[Hashable, Dict[int, object]] = {}
+    order: List[Hashable] = []
     for fact in facts:
         group_key = tuple(
             term for index, term in enumerate(fact.terms) if index not in aggregated_positions
         )
-        current = best.get(group_key)
+        current = merged.get(group_key)
         if current is None:
-            best[group_key] = fact
+            representative[group_key] = fact
+            merged[group_key] = {
+                index: fact.terms[index]
+                for index in aggregated_positions
+                if index < fact.arity
+            }
+            order.append(group_key)
             continue
-        replace = False
         for index, function in aggregated_positions.items():
+            if index >= fact.arity:
+                continue
             new_term = fact.terms[index]
-            old_term = current.terms[index]
+            old_term = current.get(index, new_term)
             if isinstance(new_term, Null) or isinstance(old_term, Null):
                 continue
             new_value = new_term.value if isinstance(new_term, Constant) else new_term
             old_value = old_term.value if isinstance(old_term, Constant) else old_term
             if isinstance(new_value, frozenset) and isinstance(old_value, frozenset):
-                if old_value < new_value:
-                    replace = True
+                if not new_value <= old_value:
+                    current[index] = Constant(old_value | new_value)
             elif is_increasing(function):
                 try:
                     if new_value > old_value:
-                        replace = True
+                        current[index] = new_term
                 except TypeError:
                     continue
             else:
                 try:
                     if new_value < old_value:
-                        replace = True
+                        current[index] = new_term
                 except TypeError:
                     continue
-        if replace:
-            best[group_key] = fact
-    return list(best.values())
+    result: List[Fact] = []
+    for group_key in order:
+        fact = representative[group_key]
+        values = merged[group_key]
+        if all(values[index] is fact.terms[index] for index in values):
+            result.append(fact)
+        else:
+            terms = list(fact.terms)
+            for index, term in values.items():
+                terms[index] = term
+            result.append(Fact(fact.predicate, terms))
+    return result
 
 
 def extract_answers(result: ChaseResult, query: Query) -> AnswerSet:

@@ -3,12 +3,20 @@
 from .annotations import BindingSet, PostDirective, collect_bindings
 from .buffer import BufferCache, BufferSegment
 from .joins import CompiledRuleExecutor, JoinInput, SlotMachineJoin, hash_join
+from .pipeline import (
+    PipelineExecutor,
+    PipelineStats,
+    RuleFilterNode,
+    SinkNode,
+    SourceNode,
+)
 from .plan import (
     AtomStep,
     PlanNode,
     ReasoningAccessPlan,
     RuleJoinPlan,
     SeedJoinPlan,
+    backward_slice,
     compile_join_plans,
     compile_plan,
     compile_rule_join_plan,
@@ -17,10 +25,13 @@ from .reasoner import ReasoningResult, VadalogReasoner, reason
 from .record_managers import (
     CsvRecordManager,
     DatabaseRecordManager,
+    FactsRecordManager,
     InMemoryRecordManager,
     RecordManager,
+    managers_for_database,
+    managers_for_facts,
 )
-from .scheduler import RoundRobinScheduler, SchedulerReport
+from .scheduler import PullScheduler, RoundRobinScheduler, SchedulerReport
 from .wrappers import TerminationWrapper, WrapperRegistry
 
 __all__ = [
@@ -33,11 +44,17 @@ __all__ = [
     "JoinInput",
     "SlotMachineJoin",
     "hash_join",
+    "PipelineExecutor",
+    "PipelineStats",
+    "RuleFilterNode",
+    "SinkNode",
+    "SourceNode",
     "AtomStep",
     "PlanNode",
     "ReasoningAccessPlan",
     "RuleJoinPlan",
     "SeedJoinPlan",
+    "backward_slice",
     "compile_join_plans",
     "compile_plan",
     "compile_rule_join_plan",
@@ -46,8 +63,12 @@ __all__ = [
     "reason",
     "CsvRecordManager",
     "DatabaseRecordManager",
+    "FactsRecordManager",
     "InMemoryRecordManager",
     "RecordManager",
+    "managers_for_database",
+    "managers_for_facts",
+    "PullScheduler",
     "RoundRobinScheduler",
     "SchedulerReport",
     "TerminationWrapper",

@@ -106,8 +106,38 @@ def load_bound_facts(bindings: BindingSet) -> List[Fact]:
     return facts
 
 
+def _term_sort_key(term) -> Tuple[int, str, object]:
+    """Type-aware ordering for ``@post("P", "sort", ...)``.
+
+    Numbers sort numerically (``9 < 10``), then strings lexicographically,
+    then other constants and labelled nulls by their text form — a total
+    deterministic order over mixed-type columns.
+    """
+    from ..core.terms import Constant
+
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, bool):
+            return (1, "", str(value))
+        if isinstance(value, (int, float)):
+            return (0, "", float(value))
+        if isinstance(value, str):
+            return (1, "", value)
+        if isinstance(value, frozenset):
+            # Canonical rendering: frozenset iteration order depends on the
+            # process hash seed, str(value) would not be stable across runs.
+            return (2, "frozenset", str(sorted(str(v) for v in value)))
+        return (2, type(value).__name__, str(value))
+    return (3, "", str(term))
+
+
 def apply_post_directives(answers: AnswerSet, directives: Sequence[PostDirective]) -> AnswerSet:
-    """Apply post-processing directives to an answer set (in place, returned)."""
+    """Apply post-processing directives to an answer set (in place, returned).
+
+    All executors (compiled, naive and streaming) funnel their extracted
+    answers through here — ``reason()`` directly, streaming runs when
+    ``complete()`` finalizes the lazy result.
+    """
     for directive in directives:
         facts = answers.facts_by_predicate.get(directive.predicate)
         if facts is None:
@@ -116,7 +146,12 @@ def apply_post_directives(answers: AnswerSet, directives: Sequence[PostDirective
             facts = [f for f in facts if not f.has_nulls]
         elif directive.operation == "sort":
             positions = [int(a) for a in directive.arguments] or [0]
-            facts = sorted(facts, key=lambda f: tuple(str(f.terms[p]) for p in positions if p < f.arity))
+            facts = sorted(
+                facts,
+                key=lambda f: tuple(
+                    _term_sort_key(f.terms[p]) for p in positions if p < f.arity
+                ),
+            )
         elif directive.operation == "limit":
             limit = int(directive.arguments[0]) if directive.arguments else len(facts)
             facts = facts[:limit]

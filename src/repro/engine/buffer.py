@@ -5,8 +5,15 @@ produced by each filter live in a *buffer segment* dedicated to that filter.
 Segments paginate their content and evict pages (LRU or LFU) to a swap area
 when a memory budget is exceeded.  This module reproduces that scheme at the
 Python level: eviction moves pages to a ``swap`` dictionary (simulating
-secondary storage) and counters expose hits, misses and evictions so the
-memory-footprint behaviour can be observed in tests and benchmarks.
+secondary storage) and counters expose hits, misses, evictions, swap traffic
+and resident-page peaks so the memory-footprint behaviour can be observed in
+tests and benchmarks.
+
+Since PR 2 the segments are the actual intermediate storage of the streaming
+pipeline executor (:mod:`repro.engine.pipeline`): every filter appends its
+emitted facts to its segment and consumers read them back through per-edge
+cursors (:meth:`BufferSegment.item`), so evicted pages are transparently
+swapped back in on demand.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     swap_ins: int = 0
+    swap_outs: int = 0
+    peak_resident_pages: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -31,6 +40,8 @@ class BufferStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "swap_ins": self.swap_ins,
+            "swap_outs": self.swap_outs,
+            "peak_resident_pages": self.peak_resident_pages,
         }
 
 
@@ -47,8 +58,16 @@ class BufferSegment:
         self.stats = BufferStats()
         self._pages: "collections.OrderedDict[int, List[object]]" = collections.OrderedDict()
         self._frequencies: Dict[int, int] = {}
+        # Creation order of pages: the LFU tie-breaker (equal frequencies are
+        # evicted oldest-page-first, deterministically).
+        self._arrival: Dict[int, int] = {}
+        self._arrival_counter = 0
         self._swap: Dict[int, List[object]] = {}
         self._count = 0
+        # Incrementally maintained count of items in resident pages, so the
+        # pipeline can sample residency per admitted fact at O(1).
+        self._resident = 0
+        self._owner: Optional["BufferCache"] = None
 
     # -- writing ---------------------------------------------------------------
     def append(self, item: object) -> None:
@@ -56,6 +75,7 @@ class BufferSegment:
         page = self._load_page(page_number, create=True)
         page.append(item)
         self._count += 1
+        self._resident_delta(1)
         self._touch(page_number)
         self._maybe_evict()
 
@@ -80,8 +100,27 @@ class BufferSegment:
         self._maybe_evict()
         return list(page)
 
+    def item(self, index: int) -> object:
+        """Random access by global item index (the pipeline cursor read).
+
+        Reads through the page cache: an evicted page is swapped back in
+        (and may evict another), so sequential cursor scans stay within the
+        configured ``max_pages`` residency budget.
+        """
+        if index < 0 or index >= self._count:
+            raise IndexError(f"segment {self.name}: item {index} out of range")
+        page_number = index // self.page_size
+        page = self._load_page(page_number, create=False)
+        self._touch(page_number)
+        self._maybe_evict()
+        return page[index % self.page_size]
+
     def resident_pages(self) -> int:
         return len(self._pages)
+
+    def resident_items(self) -> int:
+        """Number of items currently held in resident (non-swapped) pages."""
+        return self._resident
 
     def swapped_pages(self) -> int:
         return len(self._swap)
@@ -96,11 +135,15 @@ class BufferSegment:
         if page_number in self._swap:
             page = self._swap.pop(page_number)
             self.stats.swap_ins += 1
+            self._resident_delta(len(page))
         elif create:
             page = []
         else:
             raise KeyError(f"segment {self.name}: page {page_number} does not exist")
         self._pages[page_number] = page
+        if page_number not in self._arrival:
+            self._arrival[page_number] = self._arrival_counter
+            self._arrival_counter += 1
         return page
 
     def _touch(self, page_number: int) -> None:
@@ -108,17 +151,33 @@ class BufferSegment:
         if page_number in self._pages:
             self._pages.move_to_end(page_number)
 
+    def _resident_delta(self, delta: int) -> None:
+        self._resident += delta
+        if self._owner is not None:
+            self._owner._resident_total += delta
+
     def _maybe_evict(self) -> None:
         while len(self._pages) > self.max_pages:
             victim = self._pick_victim()
             page = self._pages.pop(victim)
             self._swap[victim] = page
             self.stats.evictions += 1
+            self.stats.swap_outs += 1
+            self._resident_delta(-len(page))
+        # Peak is sampled post-eviction: the steady-state residency, not the
+        # one-page overshoot of a load that is about to evict.
+        if len(self._pages) > self.stats.peak_resident_pages:
+            self.stats.peak_resident_pages = len(self._pages)
 
     def _pick_victim(self) -> int:
         if self.policy == "lru":
             return next(iter(self._pages))
-        return min(self._pages, key=lambda p: self._frequencies.get(p, 0))
+        # LFU with a deterministic tie-break: among equally frequent pages the
+        # one created first is evicted (insertion order, not dict order).
+        return min(
+            self._pages,
+            key=lambda p: (self._frequencies.get(p, 0), self._arrival.get(p, 0)),
+        )
 
 
 class BufferCache:
@@ -129,6 +188,7 @@ class BufferCache:
         self.max_pages_per_segment = max_pages_per_segment
         self.policy = policy
         self._segments: Dict[str, BufferSegment] = {}
+        self._resident_total = 0
 
     def segment(self, name: str) -> BufferSegment:
         existing = self._segments.get(name)
@@ -139,6 +199,7 @@ class BufferCache:
                 max_pages=self.max_pages_per_segment,
                 policy=self.policy,
             )
+            existing._owner = self
             self._segments[name] = existing
         return existing
 
@@ -147,6 +208,10 @@ class BufferCache:
 
     def total_items(self) -> int:
         return sum(len(segment) for segment in self._segments.values())
+
+    def resident_items(self) -> int:
+        """Items currently resident (non-swapped) across all segments (O(1))."""
+        return self._resident_total
 
     def total_evictions(self) -> int:
         return sum(segment.stats.evictions for segment in self._segments.values())

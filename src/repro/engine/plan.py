@@ -436,6 +436,37 @@ def compile_join_plans(program: Program) -> Dict[int, RuleJoinPlan]:
     return {id(rule): compile_rule_join_plan(rule) for rule in program.rules}
 
 
+def backward_slice(program: Program, targets: Sequence[str]) -> Tuple[Set[str], List[Rule]]:
+    """Query-driven relevance pruning: the rules that can reach ``targets``.
+
+    Returns the backward closure over the head→body dependency relation: a
+    rule is *relevant* when one of its head predicates is a target or feeds
+    (transitively) the body of a relevant rule; every body predicate of a
+    relevant rule becomes relevant in turn.  The streaming pipeline only
+    instantiates filters for relevant rules and sources for relevant
+    extensional predicates, so reasoning work is bounded by what the
+    requested output predicates can actually observe.
+
+    The returned rule list preserves the program (round-robin) order.
+    """
+    relevant: Set[str] = set(targets)
+    included: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            if id(rule) in included:
+                continue
+            if any(head in relevant for head in rule.head_predicate_names()):
+                included.add(id(rule))
+                changed = True
+                for atom in rule.relational_body:
+                    if atom.predicate not in relevant:
+                        relevant.add(atom.predicate)
+    rules = [rule for rule in program.rules if id(rule) in included]
+    return relevant, rules
+
+
 def compile_plan(program: Program) -> ReasoningAccessPlan:
     """Compile a program into a reasoning access plan (the logic compiler)."""
     plan = ReasoningAccessPlan()

@@ -16,7 +16,11 @@ the four compilation steps of the pipeline architecture:
    the chase through the compiled executors with the warded termination
    strategy (Algorithm 1) and extracts the answers, applying the
    post-processing annotations.  Pass ``executor="naive"`` to fall back to
-   the interpreted matcher (the reference path for differential testing).
+   the interpreted matcher (the reference path for differential testing) or
+   ``executor="streaming"`` for the pull-based pipeline runtime
+   (:mod:`repro.engine.pipeline`): query-driven, buffer-backed and able to
+   return first answers before the model is fully materialized —
+   :meth:`VadalogReasoner.stream` exposes the lazy variant.
 
 Typical usage::
 
@@ -52,17 +56,34 @@ from ..core.termination import TerminationStrategy, strategy_by_name
 from ..core.transform import is_auxiliary_predicate, normalize_for_chase
 from ..core.wardedness import ProgramAnalysis, analyse_program
 from ..storage.database import Database
-from .annotations import apply_post_directives, collect_bindings, load_bound_facts
+from .annotations import BindingSet, apply_post_directives, collect_bindings, load_bound_facts
+from .pipeline import PipelineExecutor
 from .plan import ReasoningAccessPlan, RuleJoinPlan, compile_join_plans, compile_plan
+from .record_managers import (
+    FactsRecordManager,
+    RecordManager,
+    managers_for_database,
+    managers_for_facts,
+)
 from .scheduler import RoundRobinScheduler, SchedulerReport
 from .wrappers import WrapperRegistry
+
+EXECUTORS = ("compiled", "naive", "streaming")
 
 DatabaseLike = Union[Database, Mapping[str, Iterable[Sequence[object]]], Iterable[Fact], None]
 
 
 @dataclass
 class ReasoningResult:
-    """Everything produced by one reasoning run."""
+    """Everything produced by one reasoning run.
+
+    Eager runs (``reason()``) arrive with :attr:`answers` fully populated.
+    Streaming runs created by :meth:`VadalogReasoner.stream` additionally
+    carry a live :attr:`pipeline`; :meth:`first_answer` and
+    :meth:`iter_answers` then pull the pipeline on demand, and
+    :meth:`complete` drains it and fills :attr:`answers` (post-processing
+    directives included) exactly like an eager run.
+    """
 
     answers: AnswerSet
     chase: ChaseResult
@@ -72,6 +93,9 @@ class ReasoningResult:
     harmful_join_rewriting: Optional[HarmfulJoinEliminationResult]
     warnings: List[str] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
+    #: The live streaming pipeline (lazy runs and eager streaming runs).
+    pipeline: Optional[PipelineExecutor] = None
+    _finalizer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def facts(self, predicate: str) -> Tuple[Fact, ...]:
         return self.answers.facts(predicate)
@@ -81,6 +105,46 @@ class ReasoningResult:
 
     def ground_tuples(self, predicate: str):
         return self.answers.ground_tuples(predicate)
+
+    # ------------------------------------------------------- streaming access
+    def first_answer(self) -> Optional[Fact]:
+        """The first answer fact, pulling the pipeline only as far as needed.
+
+        On a lazy streaming result this *stops* as soon as any sink produces
+        a fact — the rest of the model is not materialized.  On an eager
+        result it simply returns the first extracted answer.
+        """
+        if self.pipeline is not None:
+            return self.pipeline.first_answer()
+        for facts in self.answers.facts_by_predicate.values():
+            if facts:
+                return facts[0]
+        return None
+
+    def iter_answers(self):
+        """Lazily iterate answer facts; finalizes :attr:`answers` when drained.
+
+        Streamed facts are the raw sink output (universal answers, before
+        isomorphic deduplication and monotonic-aggregate reduction); the
+        post-processed view is in :attr:`answers` after :meth:`complete`.
+        """
+        if self.pipeline is None:
+            yield from self.answers.facts()
+            return
+        yield from self.pipeline.answers()
+        self._finalize()
+
+    def complete(self) -> "ReasoningResult":
+        """Drain a lazy streaming run and populate :attr:`answers`."""
+        if self.pipeline is not None:
+            self.pipeline.run_to_completion()
+            self._finalize()
+        return self
+
+    def _finalize(self) -> None:
+        if self._finalizer is not None:
+            finalizer, self._finalizer = self._finalizer, None
+            finalizer(self)
 
     def stats(self) -> Dict[str, object]:
         data = dict(self.chase.stats())
@@ -102,8 +166,10 @@ class VadalogReasoner:
         base_path: Optional[str] = None,
         executor: str = "compiled",
     ) -> None:
-        if executor not in ("compiled", "naive"):
-            raise ValueError(f"unknown executor {executor!r}; use 'compiled' or 'naive'")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; use one of {', '.join(EXECUTORS)}"
+            )
         self.original_program = parse_program(program) if isinstance(program, str) else program
         self._strategy_spec = strategy
         self.eliminate_harmful = eliminate_harmful
@@ -121,9 +187,10 @@ class VadalogReasoner:
         self.scheduler_report = self.scheduler.schedule()
         self._order_rules(self.scheduler_report)
         # Step 4a (query compiler): compile every rule body into its
-        # slot-machine join plan once; reasoning runs reuse the plans.
+        # slot-machine join plan once; reasoning runs reuse the plans.  The
+        # streaming pipeline executes the same plans incrementally.
         self.join_plans: Dict[int, RuleJoinPlan] = (
-            compile_join_plans(self.program) if executor == "compiled" else {}
+            compile_join_plans(self.program) if executor != "naive" else {}
         )
 
     # -------------------------------------------------------------- compilation
@@ -173,40 +240,46 @@ class VadalogReasoner:
         """Run the reasoning task and return answers plus diagnostics."""
         timings: Dict[str, float] = {}
         started = time.perf_counter()
-        facts = list(self._database_facts(database))
+        chosen = self._resolve_strategy(strategy)
+        output_predicates = self._output_predicates(outputs)
         bindings = collect_bindings(self.program, self.base_path)
-        facts.extend(load_bound_facts(bindings))
-        timings["load"] = time.perf_counter() - started
 
-        if strategy is not None:
-            chosen: TerminationStrategy = (
-                strategy if isinstance(strategy, TerminationStrategy) else strategy_by_name(strategy)
-            )
+        if self.executor == "streaming":
+            pipeline = self._build_pipeline(database, bindings, chosen, output_predicates)
+            timings["load"] = time.perf_counter() - started
+            chase_started = time.perf_counter()
+            chase_result = pipeline.run_to_completion()
+            timings["chase"] = time.perf_counter() - chase_started
         else:
-            chosen = self._make_strategy()
-        registry = WrapperRegistry(chosen)
-        for rule in self.program.rules:
-            registry.wrapper_for(f"rule:{rule.label}")
+            pipeline = None
+            facts = list(self._database_facts(database))
+            facts.extend(load_bound_facts(bindings))
+            timings["load"] = time.perf_counter() - started
 
-        chase_started = time.perf_counter()
-        engine = ChaseEngine(
-            self.program,
-            facts,
-            strategy=chosen,
-            analysis=self.analysis,
-            config=self.chase_config,
-            executor=self.executor,
-            join_plans=self.join_plans,
-        )
-        chase_result = engine.run()
-        timings["chase"] = time.perf_counter() - chase_started
+            registry = WrapperRegistry(chosen)
+            for rule in self.program.rules:
+                registry.wrapper_for(f"rule:{rule.label}")
+
+            chase_started = time.perf_counter()
+            engine = ChaseEngine(
+                self.program,
+                facts,
+                strategy=chosen,
+                analysis=self.analysis,
+                config=self.chase_config,
+                executor=self.executor,
+                join_plans=self.join_plans,
+            )
+            chase_result = engine.run()
+            timings["chase"] = time.perf_counter() - chase_started
 
         answer_started = time.perf_counter()
-        output_predicates = self._output_predicates(outputs)
         query = Query(tuple(output_predicates), certain=certain)
         answers = extract_answers(chase_result, query)
         answers = apply_post_directives(answers, bindings.post_directives)
         timings["answers"] = time.perf_counter() - answer_started
+        if chase_result.first_answer_seconds is not None:
+            timings["first_answer"] = chase_result.first_answer_seconds
         timings["total"] = time.perf_counter() - started
 
         return ReasoningResult(
@@ -218,6 +291,108 @@ class VadalogReasoner:
             harmful_join_rewriting=self.harmful_join_rewriting,
             warnings=list(self.warnings),
             timings=timings,
+            pipeline=pipeline,
+        )
+
+    def stream(
+        self,
+        database: DatabaseLike = None,
+        outputs: Optional[Iterable[str]] = None,
+        certain: bool = False,
+        strategy: Union[str, TerminationStrategy, None] = None,
+    ) -> ReasoningResult:
+        """Start a lazy streaming run: nothing is evaluated until pulled.
+
+        The returned result exposes ``first_answer()`` (pull until one answer
+        fact is produced, then stop), ``iter_answers()`` (a lazy answer
+        iterator) and ``complete()`` (drain to the fixpoint and populate
+        ``answers`` exactly like ``reason()``).  Available on every reasoner
+        regardless of its default ``executor``.
+        """
+        chosen = self._resolve_strategy(strategy)
+        output_predicates = self._output_predicates(outputs)
+        bindings = collect_bindings(self.program, self.base_path)
+        pipeline = self._build_pipeline(database, bindings, chosen, output_predicates)
+
+        def finalize(result: ReasoningResult) -> None:
+            query = Query(tuple(output_predicates), certain=certain)
+            answers = extract_answers(pipeline.result, query)
+            result.answers = apply_post_directives(answers, bindings.post_directives)
+            if pipeline.result.first_answer_seconds is not None:
+                result.timings["first_answer"] = pipeline.result.first_answer_seconds
+            result.timings["total"] = pipeline.result.elapsed_seconds
+
+        return ReasoningResult(
+            answers=AnswerSet(),
+            chase=pipeline.result,
+            analysis=self.analysis,
+            plan=self.plan,
+            scheduler=self.scheduler_report,
+            harmful_join_rewriting=self.harmful_join_rewriting,
+            warnings=list(self.warnings),
+            timings={},
+            pipeline=pipeline,
+            _finalizer=finalize,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _resolve_strategy(
+        self, strategy: Union[str, TerminationStrategy, None]
+    ) -> TerminationStrategy:
+        if strategy is None:
+            return self._make_strategy()
+        if isinstance(strategy, TerminationStrategy):
+            return strategy
+        return strategy_by_name(strategy)
+
+    def _build_pipeline(
+        self,
+        database: DatabaseLike,
+        bindings: BindingSet,
+        strategy: TerminationStrategy,
+        output_predicates: Sequence[str],
+    ) -> PipelineExecutor:
+        """Assemble the streaming pipeline for one run.
+
+        :class:`Database` inputs and external ``@bind`` sources keep lazy
+        record managers (their relations are only read when the backward
+        slice actually pulls them); loose fact lists/mappings and program
+        facts are wrapped in :class:`FactsRecordManager` sources.
+        """
+        managers: Dict[str, RecordManager] = {}
+        if isinstance(database, Database):
+            managers.update(managers_for_database(database))
+            loose: List[Fact] = []
+        else:
+            loose = list(self._database_facts(database))
+        loose.extend(self.program.facts)
+        for predicate, manager in managers_for_facts(loose).items():
+            managers[predicate] = self._merge_managers(managers.get(predicate), manager)
+        for predicate, manager in bindings.record_managers.items():
+            managers[predicate] = self._merge_managers(managers.get(predicate), manager)
+        if not self.join_plans:
+            # A reasoner built with executor="naive" has no plans yet; the
+            # pipeline needs them, so compile (and cache) on first use.
+            self.join_plans = compile_join_plans(self.program)
+        return PipelineExecutor(
+            self.program,
+            outputs=list(output_predicates),
+            input_managers=managers,
+            strategy=strategy,
+            analysis=self.analysis,
+            config=self.chase_config,
+            join_plans=self.join_plans,
+        )
+
+    @staticmethod
+    def _merge_managers(
+        existing: Optional[RecordManager], manager: RecordManager
+    ) -> RecordManager:
+        """Combine two sources of the same predicate (rare), materialising both."""
+        if existing is None:
+            return manager
+        return FactsRecordManager(
+            manager.predicate, existing.facts() + manager.facts()
         )
 
     # ----------------------------------------------------------------- helpers

@@ -71,6 +71,36 @@ class DatabaseRecordManager(RecordManager):
         yield from self._database.facts(self.predicate)
 
 
+class FactsRecordManager(RecordManager):
+    """Serves already-constructed :class:`Fact` objects for one predicate.
+
+    The streaming pipeline wraps every extensional predicate in a record
+    manager; facts that arrive pre-built (programmatic databases, ``reason()``
+    fact lists, facts embedded in the program text) go through this adapter.
+    """
+
+    def __init__(self, predicate: str, facts: Iterable[Fact]) -> None:
+        self.predicate = predicate
+        self._facts = list(facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def stream(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+
 def managers_for_database(database: Database) -> Dict[str, RecordManager]:
     """One record manager per relation of a database."""
     return {name: DatabaseRecordManager(name, database) for name in database.relations()}
+
+
+def managers_for_facts(facts: Iterable[Fact]) -> Dict[str, RecordManager]:
+    """Group loose facts by predicate into one record manager each."""
+    grouped: Dict[str, List[Fact]] = {}
+    for fact in facts:
+        grouped.setdefault(fact.predicate, []).append(fact)
+    return {
+        predicate: FactsRecordManager(predicate, group)
+        for predicate, group in grouped.items()
+    }

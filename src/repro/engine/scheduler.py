@@ -12,11 +12,16 @@ rules.  Recursion induces two kinds of cycles:
   ``real miss``);
 * *non-terminating sequences* — handled by the termination wrappers.
 
-The scheduler here drives a materialisation run over a
-:class:`~repro.engine.plan.ReasoningAccessPlan`: it fixes the round-robin
-rule order used by the chase engine and records the invocation-cycle events
-that the pull protocol would produce, which tests and the architecture
-benchmarks inspect.
+Two schedulers live here:
+
+* :class:`RoundRobinScheduler` — the compile-time scheduler: fixes the
+  round-robin rule order used by the materializing chase engine and records
+  the invocation-cycle events one pull sweep *would* produce (a static
+  simulation used by ``explain()`` and the architecture tests);
+* :class:`PullScheduler` — the runtime driver of the streaming pipeline
+  executor (:mod:`repro.engine.pipeline`): it owns the live invocation
+  stack, classifies every pull as a hit, a cyclic miss (``notifyCycle``) or
+  a real miss, and keeps the protocol counters the pipeline reports.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ class PullEvent:
 
     caller: str
     callee: str
-    kind: str  # "next", "cyclic-miss" or "real-miss"
+    kind: str  # "next", "hit", "cyclic-miss" or "real-miss"
 
 
 @dataclass
@@ -120,3 +125,76 @@ class RoundRobinScheduler:
     def rule_order(self) -> List[Rule]:
         """Just the round-robin rule order (producers before consumers)."""
         return self.plan.topological_rule_order(self.program)
+
+
+class PullScheduler:
+    """Runtime state of the pull protocol: invocation stack, events, counters.
+
+    The streaming pipeline's nodes delegate all protocol bookkeeping here:
+    before recursing into a predecessor's ``produce()`` a node asks
+    :meth:`on_stack`; a positive answer is the paper's ``notifyCycle`` — the
+    callee is already serving a ``next()`` further up the invocation chain,
+    so the caller records a **cyclic miss** and tries its other predecessors
+    before giving up with a **real miss**.  The event log is capped (the
+    counters stay exact) so long runs keep a bounded trace prefix — enough
+    for the protocol tests and ``explain``-style inspection without holding
+    an unbounded event history in memory.
+    """
+
+    def __init__(self, record_events: bool = True, max_events: int = 10_000) -> None:
+        self.record_events = record_events
+        self.max_events = max_events
+        self.events: List[PullEvent] = []
+        self.next_calls = 0
+        self.hits = 0
+        self.cyclic_misses = 0
+        self.real_misses = 0
+        self._stack: List[str] = []
+        self._on_stack: Set[str] = set()
+
+    # -- invocation stack ------------------------------------------------------
+    def on_stack(self, name: str) -> bool:
+        return name in self._on_stack
+
+    def enter(self, name: str) -> None:
+        """Push a node serving a ``next()`` onto the invocation stack."""
+        self._stack.append(name)
+        self._on_stack.add(name)
+
+    def leave(self, name: str) -> None:
+        popped = self._stack.pop()
+        assert popped == name, f"unbalanced pull stack: popped {popped}, expected {name}"
+        if name not in self._stack:
+            self._on_stack.discard(name)
+
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # -- event recording -------------------------------------------------------
+    def _record(self, caller: str, callee: str, kind: str) -> None:
+        if self.record_events and len(self.events) < self.max_events:
+            self.events.append(PullEvent(caller, callee, kind))
+
+    def record_next(self, caller: str, callee: str) -> None:
+        self.next_calls += 1
+        self._record(caller, callee, "next")
+
+    def record_hit(self, caller: str, callee: str) -> None:
+        self.hits += 1
+        self._record(caller, callee, "hit")
+
+    def record_cyclic_miss(self, caller: str, callee: str) -> None:
+        self.cyclic_misses += 1
+        self._record(caller, callee, "cyclic-miss")
+
+    def record_real_miss(self, caller: str, callee: str) -> None:
+        self.real_misses += 1
+        self._record(caller, callee, "real-miss")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "next_calls": self.next_calls,
+            "hits": self.hits,
+            "cyclic_misses": self.cyclic_misses,
+            "real_misses": self.real_misses,
+        }

@@ -25,17 +25,26 @@ class WrapperStats:
     checks: int = 0
     accepted: int = 0
     discarded: int = 0
+    inputs_registered: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "checks": self.checks,
             "accepted": self.accepted,
             "discarded": self.discarded,
+            "inputs_registered": self.inputs_registered,
         }
 
 
 class TerminationWrapper:
-    """Per-filter façade over the shared termination strategy."""
+    """Per-filter façade over the shared termination strategy.
+
+    In the streaming pipeline every rule filter holds one of these and
+    funnels each candidate fact through :meth:`check_termination` before the
+    fact is emitted downstream; source filters route their extensional facts
+    through :meth:`register_input` so the shared strategy sees a consistent
+    view regardless of which filter touched the fact first.
+    """
 
     def __init__(self, filter_name: str, strategy: TerminationStrategy) -> None:
         self.filter_name = filter_name
@@ -51,6 +60,11 @@ class TerminationWrapper:
         else:
             self.stats.discarded += 1
         return admitted
+
+    def register_input(self, node: ChaseNode) -> None:
+        """Route an extensional fact into the shared strategy (source filters)."""
+        self.stats.inputs_registered += 1
+        self.strategy.register_input(node)
 
 
 class WrapperRegistry:

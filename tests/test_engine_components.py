@@ -155,6 +155,40 @@ class TestBufferCache:
         segment.extend([0, 1, 2])
         assert segment.resident_pages() == 2
 
+    def test_lfu_tie_break_is_insertion_order(self):
+        """Among equally frequent pages the oldest one is evicted, always."""
+        segment = BufferSegment("s", page_size=1, max_pages=3, policy="lfu")
+        segment.extend([0, 1, 2])  # pages 0,1,2 resident, one touch each
+        segment.page(0)  # page 0 now more frequent
+        segment.append(3)  # pages 1 and 2 tie on frequency -> evict page 1
+        assert segment.swapped_pages() == 1
+        assert 1 in segment._swap  # the older of the tied pages lost
+        assert segment.page(1) == [1]  # swapped back in on demand
+        assert segment.stats.swap_ins == 1
+
+    def test_lfu_eviction_deterministic_across_runs(self):
+        def evicted_sequence():
+            segment = BufferSegment("s", page_size=1, max_pages=2, policy="lfu")
+            segment.extend(range(6))
+            return segment.stats.as_dict(), segment.resident_pages()
+
+        assert evicted_sequence() == evicted_sequence()
+
+    def test_swap_out_accounting_and_peak(self):
+        segment = BufferSegment("s", page_size=2, max_pages=2)
+        segment.extend(range(10))  # 5 pages, 2 resident
+        assert segment.stats.swap_outs == segment.stats.evictions == 3
+        assert segment.stats.peak_resident_pages == 2
+        assert segment.resident_items() <= 4
+
+    def test_item_random_access_reads_through_swap(self):
+        segment = BufferSegment("s", page_size=2, max_pages=2)
+        segment.extend(range(10))
+        assert [segment.item(i) for i in range(10)] == list(range(10))
+        assert segment.stats.swap_ins >= 1
+        with pytest.raises(IndexError):
+            segment.item(10)
+
     def test_invalid_policy(self):
         with pytest.raises(ValueError):
             BufferSegment("s", policy="fifo")

@@ -1,6 +1,11 @@
 """Pipeline architecture of the reproduction (Section 4 of the paper)."""
 
-from .annotations import BindingSet, PostDirective, collect_bindings
+from .annotations import (
+    BindingSet,
+    PostDirective,
+    collect_bindings,
+    write_output_bindings,
+)
 from .buffer import BufferCache, BufferSegment
 from .joins import CompiledRuleExecutor, JoinInput, SlotMachineJoin, hash_join
 from .pipeline import (
@@ -19,12 +24,14 @@ from .plan import (
     backward_slice,
     compile_join_plans,
     compile_plan,
+    compile_source_pushdowns,
     compile_rule_join_plan,
 )
 from .reasoner import ReasoningResult, VadalogReasoner, reason
 from .record_managers import (
     CsvRecordManager,
     DatabaseRecordManager,
+    DataSourceRecordManager,
     FactsRecordManager,
     InMemoryRecordManager,
     RecordManager,
@@ -38,6 +45,7 @@ __all__ = [
     "BindingSet",
     "PostDirective",
     "collect_bindings",
+    "write_output_bindings",
     "BufferCache",
     "BufferSegment",
     "CompiledRuleExecutor",
@@ -55,6 +63,7 @@ __all__ = [
     "RuleJoinPlan",
     "SeedJoinPlan",
     "backward_slice",
+    "compile_source_pushdowns",
     "compile_join_plans",
     "compile_plan",
     "compile_rule_join_plan",
@@ -63,6 +72,7 @@ __all__ = [
     "reason",
     "CsvRecordManager",
     "DatabaseRecordManager",
+    "DataSourceRecordManager",
     "FactsRecordManager",
     "InMemoryRecordManager",
     "RecordManager",

@@ -20,7 +20,7 @@ The plan is used by the reasoner to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.conditions import Comparison
 from ..core.rules import Program, Rule
@@ -434,6 +434,97 @@ def compile_rule_join_plan(rule: Rule) -> RuleJoinPlan:
 def compile_join_plans(program: Program) -> Dict[int, RuleJoinPlan]:
     """Compile every rule of a program, keyed by rule identity."""
     return {id(rule): compile_rule_join_plan(rule) for rule in program.rules}
+
+
+# --------------------------------------------------------------------------
+# Source pushdown compilation (selection pushed into ``@bind`` datasources)
+# --------------------------------------------------------------------------
+
+
+def _occurrence_constraints(rule: Rule, atom) -> FrozenSet[Tuple[int, str, object]]:
+    """Constraints every source row must satisfy to be usable at ``atom``.
+
+    Two constraint shapes are extracted, matching what the join plan checks
+    positionally anyway: a ground term at position ``p`` (``fact[p] ==
+    constant``) and a body comparison between a variable bound at ``p`` and
+    a literal.  A row failing either can never contribute a match *at this
+    occurrence* — the rule's join would reject it.
+    """
+    from ..core.expressions import Literal, VariableRef
+    from ..core.terms import Constant, Variable
+
+    constraints: Set[Tuple[int, str, object]] = set()
+    var_position: Dict[Variable, int] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            # With a repeated variable any single position is sound: equal
+            # positions carry the same value, unequal ones fail the join.
+            var_position.setdefault(term, position)
+        elif isinstance(term, Constant):
+            constraints.add((position, "==", term.value))
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    for condition in rule.conditions:
+        left, right = condition.left, condition.right
+        if isinstance(left, VariableRef) and isinstance(right, Literal):
+            variable, op, value = left.variable, condition.op, right.value
+        elif isinstance(left, Literal) and isinstance(right, VariableRef):
+            variable, value = right.variable, left.value
+            op = flipped.get(condition.op, condition.op)
+        else:
+            continue
+        op = {"=": "==", "<>": "!="}.get(op, op)
+        if variable in var_position and isinstance(value, (bool, int, float, str)):
+            constraints.add((var_position[variable], op, value))
+    return frozenset(constraints)
+
+
+def compile_source_pushdowns(
+    program: Program,
+    predicates: Sequence[str],
+    requested_outputs: Sequence[str] = (),
+):
+    """Selections safe to evaluate inside the ``@bind`` sources of a program.
+
+    For each candidate predicate the compiler intersects the constraint sets
+    of **every** occurrence of that predicate — body atoms of rules plus the
+    bodies of negative constraints and EGDs (which contribute empty sets and
+    therefore veto pushdown).  A row filtered out by the intersection is
+    unusable at every occurrence, so skipping it at the source cannot change
+    any answer.  Predicates that are also rule heads or answer predicates
+    get no pushdown (their source rows are answers or mix with derived
+    facts) — ``requested_outputs`` carries the per-run ``reason(outputs=…)``
+    selection, which may name predicates beyond the program's declared
+    ``@output`` set — and programs using ``Dom`` active-domain guards
+    disable pushdown entirely, since removing a row would shrink the active
+    domain itself.
+
+    Returns a mapping predicate → :class:`~repro.storage.datasources.Pushdown`
+    containing only predicates with a non-empty pushdown.
+    """
+    from ..storage.datasources import Pushdown
+
+    if any(rule.dom_guards for rule in program.rules):
+        return {}
+    idb = program.idb_predicates()
+    outputs = program.output_predicates() | set(requested_outputs)
+    pushdowns: Dict[str, Pushdown] = {}
+    for predicate in predicates:
+        if predicate in idb or predicate in outputs:
+            continue
+        occurrences: List[FrozenSet[Tuple[int, str, object]]] = []
+        for rule in program.rules:
+            for atom in rule.relational_body:
+                if atom.predicate == predicate:
+                    occurrences.append(_occurrence_constraints(rule, atom))
+        for checked in list(program.constraints) + list(program.egds):
+            if any(atom.predicate == predicate for atom in checked.body):
+                occurrences.append(frozenset())
+        if not occurrences:
+            continue
+        common = frozenset.intersection(*occurrences)
+        if common:
+            pushdowns[predicate] = Pushdown(tuple(sorted(common, key=repr)))
+    return pushdowns
 
 
 def backward_slice(program: Program, targets: Sequence[str]) -> Tuple[Set[str], List[Rule]]:

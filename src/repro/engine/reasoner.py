@@ -56,10 +56,23 @@ from ..core.termination import TerminationStrategy, strategy_by_name
 from ..core.transform import is_auxiliary_predicate, normalize_for_chase
 from ..core.wardedness import ProgramAnalysis, analyse_program
 from ..storage.database import Database
-from .annotations import BindingSet, apply_post_directives, collect_bindings, load_bound_facts
+from .annotations import (
+    BindingSet,
+    apply_post_directives,
+    collect_bindings,
+    load_bound_facts,
+    write_output_bindings,
+)
 from .pipeline import PipelineExecutor
-from .plan import ReasoningAccessPlan, RuleJoinPlan, compile_join_plans, compile_plan
+from .plan import (
+    ReasoningAccessPlan,
+    RuleJoinPlan,
+    compile_join_plans,
+    compile_plan,
+    compile_source_pushdowns,
+)
 from .record_managers import (
+    DataSourceRecordManager,
     FactsRecordManager,
     RecordManager,
     managers_for_database,
@@ -95,6 +108,10 @@ class ReasoningResult:
     timings: Dict[str, float] = field(default_factory=dict)
     #: The live streaming pipeline (lazy runs and eager streaming runs).
     pipeline: Optional[PipelineExecutor] = None
+    #: Per-predicate datasource counters (``@bind`` traffic: rows scanned,
+    #: pushdown applied, cache hits, rows written back).  Empty when the run
+    #: used no external bindings.
+    source_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
     _finalizer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def facts(self, predicate: str) -> Tuple[Fact, ...]:
@@ -150,6 +167,8 @@ class ReasoningResult:
         data = dict(self.chase.stats())
         data.update({f"time_{k}": v for k, v in self.timings.items()})
         data["warnings"] = list(self.warnings)
+        if self.source_stats:
+            data["datasources"] = dict(self.source_stats)
         return data
 
 
@@ -179,6 +198,10 @@ class VadalogReasoner:
         self.executor = executor
         self.warnings: List[str] = []
         self.harmful_join_rewriting: Optional[HarmfulJoinEliminationResult] = None
+        #: ``@bind`` resolution is memoized across runs so the per-source
+        #: page caches persist — a second ``reason()`` on the same reasoner
+        #: reads sources from memory, not the backend.
+        self._bindings: Optional[BindingSet] = None
 
         self.program = self._optimize(self.original_program)
         self.analysis = analyse_program(self.program)
@@ -242,7 +265,7 @@ class VadalogReasoner:
         started = time.perf_counter()
         chosen = self._resolve_strategy(strategy)
         output_predicates = self._output_predicates(outputs)
-        bindings = collect_bindings(self.program, self.base_path)
+        bindings = self._collect_bindings(output_predicates)
 
         if self.executor == "streaming":
             pipeline = self._build_pipeline(database, bindings, chosen, output_predicates)
@@ -277,6 +300,7 @@ class VadalogReasoner:
         query = Query(tuple(output_predicates), certain=certain)
         answers = extract_answers(chase_result, query)
         answers = apply_post_directives(answers, bindings.post_directives)
+        write_output_bindings(bindings, answers, output_predicates)
         timings["answers"] = time.perf_counter() - answer_started
         if chase_result.first_answer_seconds is not None:
             timings["first_answer"] = chase_result.first_answer_seconds
@@ -292,6 +316,7 @@ class VadalogReasoner:
             warnings=list(self.warnings),
             timings=timings,
             pipeline=pipeline,
+            source_stats=bindings.source_stats(),
         )
 
     def stream(
@@ -311,13 +336,15 @@ class VadalogReasoner:
         """
         chosen = self._resolve_strategy(strategy)
         output_predicates = self._output_predicates(outputs)
-        bindings = collect_bindings(self.program, self.base_path)
+        bindings = self._collect_bindings(output_predicates)
         pipeline = self._build_pipeline(database, bindings, chosen, output_predicates)
 
         def finalize(result: ReasoningResult) -> None:
             query = Query(tuple(output_predicates), certain=certain)
             answers = extract_answers(pipeline.result, query)
             result.answers = apply_post_directives(answers, bindings.post_directives)
+            write_output_bindings(bindings, result.answers, output_predicates)
+            result.source_stats = bindings.source_stats()
             if pipeline.result.first_answer_seconds is not None:
                 result.timings["first_answer"] = pipeline.result.first_answer_seconds
             result.timings["total"] = pipeline.result.elapsed_seconds
@@ -336,6 +363,32 @@ class VadalogReasoner:
         )
 
     # ----------------------------------------------------------------- helpers
+    def _collect_bindings(self, output_predicates: Sequence[str]) -> BindingSet:
+        """Resolve ``@bind``/``@mapping`` and attach compiled pushdowns.
+
+        Resolution happens once per reasoner (sources — and their page
+        caches — are shared by subsequent runs; external files modified
+        behind a live reasoner's back are re-read only by a new reasoner).
+        The selection pushdowns of :func:`compile_source_pushdowns` are
+        recomputed per run and attached to the input record managers, so
+        both the materializing load (:func:`load_bound_facts`) and the
+        streaming pipeline's lazy source cursors scan with the same
+        restriction.  ``output_predicates`` is this run's answer selection:
+        a bound predicate the caller asks for directly must be served in
+        full, so it is excluded from pushdown.
+        """
+        if self._bindings is None:
+            self._bindings = collect_bindings(self.program, self.base_path)
+        bindings = self._bindings
+        if bindings.sources:
+            bindings.pushdowns = compile_source_pushdowns(
+                self.program, tuple(bindings.sources), output_predicates
+            )
+            for predicate, manager in bindings.record_managers.items():
+                if isinstance(manager, DataSourceRecordManager):
+                    manager.pushdown = bindings.pushdowns.get(predicate)
+        return bindings
+
     def _resolve_strategy(
         self, strategy: Union[str, TerminationStrategy, None]
     ) -> TerminationStrategy:

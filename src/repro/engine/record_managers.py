@@ -3,9 +3,15 @@
 In the paper's architecture the initial data sources of the pipeline use
 *record managers*, components that adapt external sources (CSV archives,
 relational databases, APIs) and turn streaming input data into facts
-(Section 4, "Execution model").  Two managers are provided here: an
-in-memory one (used by tests and the workload generators) and a CSV one,
-matching the storage used throughout the paper's evaluation.
+(Section 4, "Execution model").  Besides the in-memory adapters used by
+tests and the workload generators, :class:`DataSourceRecordManager` bridges
+to the pluggable datasource layer of
+:mod:`repro.storage.datasources` (SQLite/CSV/JSONL behind ``@bind``): it
+streams lazily from the source's cursor — no *rows* are read until the
+first fact is pulled, so pipeline sources pruned by the backward slice
+never scan their backend (SQLite binds do get an eager schema-validation
+peek at resolution time) — and carries the predicate's compiled
+:class:`~repro.storage.datasources.Pushdown` into the scan.
 """
 
 from __future__ import annotations
@@ -57,6 +63,25 @@ class CsvRecordManager(RecordManager):
     def stream(self) -> Iterator[Fact]:
         relation = load_relation_csv(self.path, name=self.predicate, has_header=self.has_header)
         for row in relation.tuples:
+            yield Fact(self.predicate, [Constant(v) for v in row])
+
+
+class DataSourceRecordManager(RecordManager):
+    """Streams facts from a pluggable :class:`~repro.storage.datasources.DataSource`.
+
+    ``pushdown`` (when the reasoner compiled one for this predicate) is
+    forwarded to ``source.scan`` so selection happens at the source —
+    natively for SQLite, at the read boundary for CSV/JSONL.  ``stream`` is
+    a generator: no rows are read until the first fact is pulled.
+    """
+
+    def __init__(self, predicate: str, source, pushdown=None) -> None:
+        self.predicate = predicate
+        self.source = source
+        self.pushdown = pushdown
+
+    def stream(self) -> Iterator[Fact]:
+        for row in self.source.scan(self.pushdown):
             yield Fact(self.predicate, [Constant(v) for v in row])
 
 

@@ -1,7 +1,54 @@
-"""Storage substrate: databases, relations, hash indexes and CSV adapters."""
+"""Storage substrate: databases, indexes, and the pluggable datasource layer.
+
+Besides the in-memory :class:`Database` and the fact-store indexes, this
+package hosts the multi-backend datasource registry of
+:mod:`repro.storage.datasources` — SQLite/CSV/JSONL sources resolved from
+``@bind`` annotations, with selection/projection pushdown and per-source
+LRU page caching.
+"""
 
 from .database import Database, Relation
+from .datasources import (
+    CsvDataSource,
+    DataSource,
+    DataSourceError,
+    InMemoryDataSource,
+    JsonlDataSource,
+    Pushdown,
+    RowPageCache,
+    SourceStats,
+    SQLiteDataSource,
+    create_datasource,
+    datasource_kinds,
+    load_database_sqlite,
+    publish_memory_relation,
+    clear_memory_relations,
+    register_datasource,
+    save_database_sqlite,
+)
 from .index import HashIndex
 from .csv_io import load_relation_csv, save_relation_csv
 
-__all__ = ["Database", "Relation", "HashIndex", "load_relation_csv", "save_relation_csv"]
+__all__ = [
+    "Database",
+    "Relation",
+    "HashIndex",
+    "load_relation_csv",
+    "save_relation_csv",
+    "CsvDataSource",
+    "DataSource",
+    "DataSourceError",
+    "InMemoryDataSource",
+    "JsonlDataSource",
+    "Pushdown",
+    "RowPageCache",
+    "SourceStats",
+    "SQLiteDataSource",
+    "create_datasource",
+    "datasource_kinds",
+    "load_database_sqlite",
+    "publish_memory_relation",
+    "clear_memory_relations",
+    "register_datasource",
+    "save_database_sqlite",
+]

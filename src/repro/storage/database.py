@@ -1,11 +1,17 @@
 """Extensional databases: named relations of ground tuples.
 
-The paper's evaluation reads the extensional data from plain CSV archives so
-that the measured times reflect the reasoner rather than a storage back-end
-(Section 6, "Test setup").  The :class:`Database` class mirrors that setup:
-a dictionary of :class:`Relation` objects holding plain Python tuples, with
+:class:`Database` is the **in-memory** backend of the storage layer: a
+dictionary of :class:`Relation` objects holding plain Python tuples, with
 converters to and from the :class:`~repro.core.atoms.Fact` representation
-used by the engines.
+used by the engines.  It is the default way to hand extensional data to
+``VadalogReasoner.reason(database=...)`` and what the workload generators
+produce.
+
+It is *not* the only backend: ``@bind`` annotations route predicates to
+external datasources — SQLite, CSV and JSONL files — through the registry
+in :mod:`repro.storage.datasources`, with selection/projection pushdown and
+lazy cursors; :func:`repro.storage.datasources.save_database_sqlite`
+exports a :class:`Database` into that world.
 """
 
 from __future__ import annotations

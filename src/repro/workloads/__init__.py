@@ -12,6 +12,7 @@ from .companies import (
     ScaleFreeConfig,
     generate_ownership_graph,
     control_scenario,
+    majority_control_scenario,
     company_control_program,
 )
 from .ibench import ibench_scenario
@@ -36,6 +37,7 @@ __all__ = [
     "ScaleFreeConfig",
     "generate_ownership_graph",
     "control_scenario",
+    "majority_control_scenario",
     "company_control_program",
     "ibench_scenario",
     "doctors_scenario",

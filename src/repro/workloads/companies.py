@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.parser import parse_program
 from ..core.rules import Program
 from ..storage.database import Database
+from ..storage.datasources import save_database_sqlite
 from .scenario import Scenario
 
 CONTROL_PROGRAM = """
@@ -27,10 +29,47 @@ Control(X, Y) :- Own(X, Y, W), W > 0.5.
 Control(X, Z) :- Control(X, Y), Own(Y, Z, W), V = msum(W, <Y>), V > 0.5.
 """
 
+#: ``@bind`` header prepended when the scenario reads from a SQLite file;
+#: ``Company`` is bound too although no rule uses it — the streaming
+#: pipeline's backward slice prunes that source, so the table is never read.
+SQLITE_BINDINGS = """
+@bind("Own", "sqlite", "{db}").
+@bind("Company", "sqlite", "{db}").
+"""
+
+#: Majority-chain control: control through chains of direct majority stakes
+#: only.  Unlike Example 2's ``msum`` accumulation, ``W > 0.5`` constrains
+#: **every** occurrence of ``Own``, so the reasoner pushes the selection
+#: into the bound source (minority edges never leave a SQLite backend).
+MAJORITY_CONTROL_PROGRAM = """
+@output("Control").
+Control(X, Y) :- Own(X, Y, W), W > 0.5.
+Control(X, Z) :- Control(X, Y), Own(Y, Z, W), W > 0.5.
+"""
+
+SQLITE_DB_NAME = "companies.db"
+
 
 def company_control_program() -> Program:
     """The company-control rules of Example 2 (with monotonic sum)."""
     return parse_program(CONTROL_PROGRAM)
+
+
+def _sqlite_scenario_parts(
+    database: Database, data_dir: Union[str, Path, None], program_text: str
+) -> Tuple[Program, Database, str]:
+    """Export ``database`` to SQLite and rewrite the program to bind it.
+
+    Returns the bound program, an **empty** database (the extensional data
+    now lives in the file) and the ``base_path`` the reasoner needs.
+    """
+    if data_dir is None:
+        raise ValueError("backend='sqlite' needs a data_dir to hold the .db file")
+    directory = Path(data_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_database_sqlite(database, directory / SQLITE_DB_NAME)
+    bound = SQLITE_BINDINGS.format(db=SQLITE_DB_NAME) + program_text
+    return parse_program(bound), Database(), str(directory)
 
 
 @dataclass(frozen=True)
@@ -148,6 +187,8 @@ def control_scenario(
     variant: str = "all",
     query_pairs: int = 10,
     config: Optional[ScaleFreeConfig] = None,
+    backend: str = "memory",
+    data_dir: Union[str, Path, None] = None,
 ) -> Scenario:
     """Build an industrial-validation scenario (Section 6.4).
 
@@ -158,27 +199,82 @@ def control_scenario(
       company pairs (the scenario stores them in ``params['pairs']``; the
       harness runs the same materialisation and then filters, which matches
       how the paper issues repeated point queries).
+
+    ``backend="sqlite"`` exports the generated ownership graph into
+    ``data_dir/companies.db`` and rewrites the program to read it through
+    ``@bind`` datasources — the end-to-end external-storage path; answers
+    are identical to the in-memory backend on every executor.
     """
     if variant not in {"all", "query"}:
         raise ValueError("variant must be 'all' or 'query'")
+    if backend not in {"memory", "sqlite"}:
+        raise ValueError("backend must be 'memory' or 'sqlite'")
     database = generate_ownership_graph(n_companies, config=config)
-    program = company_control_program()
     rng = random.Random((config or ScaleFreeConfig()).seed + 1)
     companies = [row[0] for row in database.relation("Company").tuples]
     pairs: List[Tuple[str, str]] = []
     if variant == "query" and len(companies) >= 2:
         for _ in range(query_pairs):
             pairs.append((rng.choice(companies), rng.choice(companies)))
+    params = {
+        "companies": n_companies,
+        "edges": database.size("Own"),
+        "variant": variant,
+        "pairs": pairs,
+        "backend": backend,
+    }
+    base_path: Optional[str] = None
+    if backend == "sqlite":
+        program, database, base_path = _sqlite_scenario_parts(
+            database, data_dir, CONTROL_PROGRAM
+        )
+    else:
+        program = company_control_program()
     return Scenario(
         name=f"company-control-{variant}-{n_companies}",
         program=program,
         database=database,
         outputs=("Control",),
         description="Company control over a scale-free ownership graph (Example 2)",
-        params={
-            "companies": n_companies,
-            "edges": database.size("Own"),
-            "variant": variant,
-            "pairs": pairs,
-        },
+        params=params,
+        base_path=base_path,
+    )
+
+
+def majority_control_scenario(
+    n_companies: int,
+    config: Optional[ScaleFreeConfig] = None,
+    backend: str = "memory",
+    data_dir: Union[str, Path, None] = None,
+) -> Scenario:
+    """Majority-chain control over the same ownership graphs.
+
+    The ``W > 0.5`` selection appears on every occurrence of ``Own``, so
+    with ``backend="sqlite"`` the reasoner compiles it into the source's
+    pushdown: minority edges are filtered by a SQL ``WHERE`` inside the
+    database and ``rows_scanned < relation_rows`` in the source statistics.
+    """
+    if backend not in {"memory", "sqlite"}:
+        raise ValueError("backend must be 'memory' or 'sqlite'")
+    database = generate_ownership_graph(n_companies, config=config)
+    params = {
+        "companies": n_companies,
+        "edges": database.size("Own"),
+        "backend": backend,
+    }
+    base_path: Optional[str] = None
+    if backend == "sqlite":
+        program, database, base_path = _sqlite_scenario_parts(
+            database, data_dir, MAJORITY_CONTROL_PROGRAM
+        )
+    else:
+        program = parse_program(MAJORITY_CONTROL_PROGRAM)
+    return Scenario(
+        name=f"company-majority-control-{n_companies}",
+        program=program,
+        database=database,
+        outputs=("Control",),
+        description="Control through chains of direct majority stakes (pushdown showcase)",
+        params=params,
+        base_path=base_path,
     )

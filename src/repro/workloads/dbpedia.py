@@ -17,10 +17,12 @@ transitive-closure behaviour the experiments measure.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
 
 from ..core.parser import parse_program
 from ..storage.database import Database
+from ..storage.datasources import save_database_sqlite
 from .scenario import Scenario
 
 PSC_PROGRAM = """
@@ -44,6 +46,31 @@ PSC(X, P) :- Company(X).
 PSC(X, P) :- Control(Y, X), PSC(Y, P).
 StrongLink(X, Y, W) :- PSC(X, P), PSC(Y, P), X > Y, W = mcount(P), W >= {threshold}.
 """
+
+SQLITE_DB_NAME = "dbpedia.db"
+
+#: ``@bind`` header for the SQLite-backed variant.  All four extracted
+#: relations are bound; rules only consume three of them, so the streaming
+#: pipeline prunes the ``Company`` source and its table is never read.
+SQLITE_BINDINGS = """
+@bind("Control", "sqlite", "{db}").
+@bind("KeyPerson", "sqlite", "{db}").
+@bind("Person", "sqlite", "{db}").
+@bind("Company", "sqlite", "{db}").
+"""
+
+
+def _sqlite_parts(
+    database: Database, data_dir: Union[str, Path, None], program_text: str
+) -> Tuple[object, Database, str]:
+    """Export the company graph to SQLite and bind the program to it."""
+    if data_dir is None:
+        raise ValueError("backend='sqlite' needs a data_dir to hold the .db file")
+    directory = Path(data_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_database_sqlite(database, directory / SQLITE_DB_NAME)
+    bound = SQLITE_BINDINGS.format(db=SQLITE_DB_NAME) + program_text
+    return parse_program(bound), Database(), str(directory)
 
 
 def generate_company_graph(
@@ -95,17 +122,35 @@ def generate_company_graph(
 
 
 def psc_scenario(
-    n_companies: int = 200, n_persons: int = 400, seed: int = 11
+    n_companies: int = 200,
+    n_persons: int = 400,
+    seed: int = 11,
+    backend: str = "memory",
+    data_dir: Union[str, Path, None] = None,
 ) -> Scenario:
-    """The PSC scenario (Example 11): persons with significant control."""
+    """The PSC scenario (Example 11): persons with significant control.
+
+    ``backend="sqlite"`` exports the company graph into
+    ``data_dir/dbpedia.db`` and reads it back through ``@bind`` datasources
+    (same answers as the in-memory backend on every executor).
+    """
+    if backend not in {"memory", "sqlite"}:
+        raise ValueError("backend must be 'memory' or 'sqlite'")
     database = generate_company_graph(n_companies, n_persons, seed=seed)
+    params = {"companies": n_companies, "persons": n_persons, "backend": backend}
+    base_path: Optional[str] = None
+    if backend == "sqlite":
+        program, database, base_path = _sqlite_parts(database, data_dir, PSC_PROGRAM)
+    else:
+        program = parse_program(PSC_PROGRAM)
     return Scenario(
         name="dbpedia-psc",
-        program=parse_program(PSC_PROGRAM),
+        program=program,
         database=database,
         outputs=("PSC",),
         description="Persons with significant control over DBpedia-like companies",
-        params={"companies": n_companies, "persons": n_persons},
+        params=params,
+        base_path=base_path,
     )
 
 

@@ -20,6 +20,10 @@ class Scenario:
     outputs: Tuple[str, ...]
     description: str = ""
     params: Dict[str, object] = field(default_factory=dict)
+    #: Base directory for ``@bind`` locations when the scenario reads its
+    #: extensional data through external datasources instead of ``database``
+    #: (pass it as ``VadalogReasoner(..., base_path=scenario.base_path)``).
+    base_path: Optional[str] = None
 
     def facts(self):
         return self.database.facts()

@@ -1,0 +1,42 @@
+"""Tier-1 guard for the documentation: snippets execute, links resolve.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``) so a
+documentation regression fails the ordinary test suite too.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def _paths():
+    return [REPO_ROOT / name for name in check_docs.DEFAULT_FILES]
+
+
+def test_checked_files_exist():
+    for path in _paths():
+        assert path.exists(), f"documented file missing: {path}"
+
+
+def test_docs_have_snippets_to_check():
+    runnable = [
+        snippet
+        for path in _paths()
+        for snippet in check_docs.iter_snippets(path)
+        if snippet.language == "python" and not snippet.skipped
+    ]
+    # README quickstarts + LANGUAGE reference examples must stay runnable.
+    assert len(runnable) >= 8
+
+
+def test_intra_repo_links_resolve():
+    assert check_docs.check_links(_paths()) == []
+
+
+def test_snippets_execute():
+    failures = check_docs.check_snippets(_paths())
+    assert failures == [], "\n".join(failures)

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Documentation checker: execute doc snippets, validate intra-repo links.
+
+Two checks, both run by the CI ``docs`` job and by ``tests/test_docs.py``:
+
+1. **Snippets** — every fenced ```python block in the checked Markdown
+   files is executed in a fresh namespace with the repository's ``src`` on
+   ``sys.path`` and a temporary working directory.  A snippet that raises
+   (including a failed ``assert``) fails the check, so examples in the
+   docs cannot rot.  A block preceded (within three lines) by an HTML
+   comment ``<!-- docs-check: skip -->`` is skipped.
+2. **Links** — every relative Markdown link target must exist on disk
+   (fragments are stripped; ``http(s)``/``mailto`` links are not probed).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # check everything
+    PYTHONPATH=src python tools/check_docs.py README.md  # specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose snippets and links are checked.  SNIPPETS.md / PAPERS.md are
+#: research-note scratch files and deliberately excluded.
+DEFAULT_FILES = ("README.md", "ARCHITECTURE.md", "docs/LANGUAGE.md")
+
+SKIP_MARKER = "docs-check: skip"
+
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+@dataclass
+class Snippet:
+    """One fenced code block of a Markdown file."""
+
+    path: Path
+    line: int  # 1-based line of the opening fence
+    language: str
+    code: str
+    skipped: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.path.relative_to(REPO_ROOT)}:{self.line}"
+
+
+def iter_snippets(path: Path) -> Iterator[Snippet]:
+    """Parse a Markdown file into its fenced code blocks."""
+    lines = path.read_text().splitlines()
+    index = 0
+    while index < len(lines):
+        match = _FENCE_RE.match(lines[index])
+        if not match:
+            index += 1
+            continue
+        language = match.group(1).lower()
+        start = index
+        body: List[str] = []
+        index += 1
+        while index < len(lines) and lines[index].strip() != "```":
+            body.append(lines[index])
+            index += 1
+        index += 1  # closing fence
+        skipped = any(SKIP_MARKER in line for line in lines[max(0, start - 3) : start])
+        yield Snippet(
+            path=path,
+            line=start + 1,
+            language=language,
+            code="\n".join(body),
+            skipped=skipped,
+        )
+
+
+def check_snippets(paths: Sequence[Path]) -> List[str]:
+    """Execute every runnable python snippet; returns failure messages."""
+    import contextlib
+    import os
+
+    failures: List[str] = []
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: file does not exist")
+            continue
+        for snippet in iter_snippets(path):
+            if snippet.language != "python" or snippet.skipped:
+                continue
+            cwd = os.getcwd()
+            with tempfile.TemporaryDirectory() as tmp:
+                os.chdir(tmp)
+                try:
+                    code = compile(snippet.code, snippet.name, "exec")
+                    exec(code, {"__name__": "__docsnippet__"})  # noqa: S102
+                except Exception:
+                    failures.append(
+                        f"snippet {snippet.name} failed:\n"
+                        + "".join(traceback.format_exc(limit=4))
+                    )
+                finally:
+                    os.chdir(cwd)
+    return failures
+
+
+def check_links(paths: Sequence[Path]) -> List[str]:
+    """Validate that relative link targets exist; returns failure messages."""
+    failures: List[str] = []
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: file does not exist")
+            continue
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            for target in _LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{path.relative_to(REPO_ROOT)}:{line_no}: broken link "
+                        f"to {target!r} (resolved {resolved})"
+                    )
+    return failures
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    names = list(argv) or list(DEFAULT_FILES)
+    paths = [REPO_ROOT / name for name in names]
+    failures = check_links(paths) + check_snippets(paths)
+    snippet_count = sum(
+        1
+        for path in paths
+        if path.exists()
+        for snippet in iter_snippets(path)
+        if snippet.language == "python" and not snippet.skipped
+    )
+    if failures:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        print(f"\ndocs check FAILED ({len(failures)} problem(s))", file=sys.stderr)
+        return 1
+    print(
+        f"docs check OK: {len(paths)} file(s), {snippet_count} snippet(s) "
+        f"executed, links valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

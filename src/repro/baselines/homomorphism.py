@@ -10,11 +10,11 @@ Example 14).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.atoms import Atom, Fact
 from ..core.fact_store import FactStore
-from ..core.terms import Constant, Null, Term, Variable
+from ..core.terms import Constant, Term, Variable
 
 
 def _unify_term(

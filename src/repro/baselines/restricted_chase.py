@@ -16,7 +16,7 @@ can be compared against the warded engine in differential tests.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.aggregates import AggregateRegistry
@@ -25,7 +25,7 @@ from ..core.chase import ChaseConfig, ChaseEngine, ChaseLimitError
 from ..core.expressions import ExpressionError
 from ..core.fact_store import FactStore
 from ..core.rules import Program
-from ..core.terms import Constant, Null, NullFactory, Term, Variable
+from ..core.terms import NullFactory, Term, Variable
 from .homomorphism import find_homomorphism
 
 

@@ -16,8 +16,7 @@ engine against non-terminating inputs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..core.aggregates import AggregateRegistry
 from ..core.atoms import Atom, Fact
@@ -26,7 +25,7 @@ from ..core.expressions import ExpressionError
 from ..core.fact_store import FactStore
 from ..core.rules import Program
 from ..core.skolem import SkolemFactory, skolem_name
-from ..core.terms import Constant, Null, NullFactory, Term, Variable
+from ..core.terms import NullFactory, Term, Variable
 from .restricted_chase import BaselineResult
 
 

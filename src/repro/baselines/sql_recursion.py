@@ -15,13 +15,12 @@ This baseline mimics a ``WITH RECURSIVE`` evaluation:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.atoms import Atom, Fact
 from ..core.chase import ChaseLimitError
 from ..core.rules import Program
-from ..core.terms import Constant, Term, Variable
+from ..core.terms import Constant, Variable
 from .restricted_chase import BaselineResult
 
 

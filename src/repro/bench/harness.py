@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..baselines.graph_engine import GraphTraversalEngine
 from ..baselines.restricted_chase import RestrictedChaseEngine

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from .aggregates import AggregateRegistry
 from .atoms import Atom, Fact
@@ -25,10 +25,9 @@ from .conditions import AggregateSpec
 from .expressions import ExpressionError
 from .fact_store import FactStore
 from .forests import ChaseNode, derived_node, input_node
-from .isomorphism import isomorphism_key
 from .rules import DOM_PREDICATE, Program, Rule
 from .terms import Constant, Null, NullFactory, Term, Variable
-from .termination import TerminationStrategy, UnboundedStrategy, WardedTerminationStrategy
+from .termination import TerminationStrategy, WardedTerminationStrategy
 from .wardedness import ProgramAnalysis, RuleAnalysis, RuleKind, analyse_program
 
 
@@ -216,12 +215,17 @@ class ChaseEngine:
         nodes: List[ChaseNode] = []
         node_of: Dict[Fact, ChaseNode] = {}
 
-        for fact in self._database_facts:
-            if store.add(fact):
-                node = input_node(fact, step=0)
-                nodes.append(node)
-                node_of[fact] = node
-                self.strategy.register_input(node)
+        # Bulk input load through the store's write-batch protocol: stage
+        # everything (deduplicating), commit once, then register the chase
+        # nodes for the facts that actually entered the store.
+        batch = store.write_batch()
+        loaded = [fact for fact in self._database_facts if batch.add(fact)]
+        batch.apply()
+        for fact in loaded:
+            node = input_node(fact, step=0)
+            nodes.append(node)
+            node_of[fact] = node
+            self.strategy.register_input(node)
 
         result = ChaseResult(
             store=store,
@@ -240,32 +244,49 @@ class ChaseEngine:
                 raise ChaseLimitError(
                     f"chase exceeded the configured maximum of {self.config.max_rounds} rounds"
                 )
-            delta_facts = [node.fact for node in delta]
-            delta_by_predicate: Dict[str, List[Fact]] = {}
-            if self.executor == "compiled":
-                # Stamp the round and build the per-round delta indexes used
-                # by the compiled executors' seed probes.
-                store.begin_round(round_index, delta_facts)
-            else:
-                store.current_round = round_index
-                for fact in delta_facts:
-                    delta_by_predicate.setdefault(fact.predicate, []).append(fact)
-            new_nodes: List[ChaseNode] = []
-            for rule in self.program.rules:
-                produced = self._apply_rule(
-                    rule, store, node_of, delta_by_predicate, round_index, result
-                )
-                new_nodes.extend(produced)
-                if self.config.max_facts is not None and len(store) > self.config.max_facts:
-                    raise ChaseLimitError(
-                        f"chase exceeded the configured maximum of {self.config.max_facts} facts"
-                    )
-            delta = new_nodes
+            delta = self._evaluate_round(store, node_of, delta, round_index, result)
         result.rounds = round_index
 
         self.check_violations(result)
         result.elapsed_seconds = time.perf_counter() - started
         return result
+
+    def _evaluate_round(
+        self,
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        delta: List[ChaseNode],
+        round_index: int,
+        result: ChaseResult,
+    ) -> List[ChaseNode]:
+        """Evaluate one semi-naive round; returns the nodes it derived.
+
+        This is the template method the parallel executor overrides
+        (:class:`repro.engine.partition.ParallelChaseEngine`): the base
+        implementation applies the rules sequentially in round-robin order
+        against the live store.
+        """
+        delta_facts = [node.fact for node in delta]
+        delta_by_predicate: Dict[str, List[Fact]] = {}
+        if self.executor == "naive":
+            store.current_round = round_index
+            for fact in delta_facts:
+                delta_by_predicate.setdefault(fact.predicate, []).append(fact)
+        else:
+            # Stamp the round and build the per-round delta indexes used
+            # by the compiled executors' seed probes.
+            store.begin_round(round_index, delta_facts)
+        new_nodes: List[ChaseNode] = []
+        for rule in self.program.rules:
+            produced = self._apply_rule(
+                rule, store, node_of, delta_by_predicate, round_index, result
+            )
+            new_nodes.extend(produced)
+            if self.config.max_facts is not None and len(store) > self.config.max_facts:
+                raise ChaseLimitError(
+                    f"chase exceeded the configured maximum of {self.config.max_facts} facts"
+                )
+        return new_nodes
 
     # ---------------------------------------------------------- rule matching
     def _apply_rule(
@@ -363,21 +384,29 @@ class ChaseEngine:
         round_index: int,
         result: ChaseResult,
         produced: List[ChaseNode],
+        sink=None,
+        admit=None,
     ) -> None:
         """Slot-based firing: instantiate heads positionally, no dict binding.
 
         Only used for rules whose plan has head templates (no assignments,
         aggregation, post conditions, ``Dom`` guards or residual conditions);
         semantically identical to :meth:`_fire` on those rules, including the
-        fresh-null generation order.
+        fresh-null generation order.  ``sink`` is the write target — the
+        live store by default, a :class:`~repro.core.fact_store.WriteBatch`
+        in the parallel admission stage.
         """
+        if sink is None:
+            sink = store
+        if admit is None:
+            admit = self.strategy.admit
         if plan.existentials:
             nulls = tuple(self.null_factory.fresh() for _ in plan.existentials)
         else:
             nulls = ()
         parents = None
         ward_parent = None
-        contains_row = store.contains_row
+        contains_row = sink.contains_row
         for predicate, entries in plan.head_templates:
             result.candidate_facts += 1
             # Entry kinds from repro.engine.plan: 1 = HEAD_SLOT, 2 = HEAD_NULL,
@@ -404,9 +433,9 @@ class ChaseEngine:
                 ward_parent=ward_parent,
                 step=round_index,
             )
-            if not self.strategy.admit(node):
+            if not admit(node):
                 continue
-            store.add(head_fact)
+            sink.add(head_fact)
             node_of[head_fact] = node
             result.nodes.append(node)
             result.chase_steps += 1
@@ -560,6 +589,7 @@ class ChaseEngine:
         step: int,
         result: ChaseResult,
         admit=None,
+        sink=None,
     ) -> List[ChaseNode]:
         """Fire ``rule`` on a full body ``binding`` against an external store.
 
@@ -573,7 +603,16 @@ class ChaseEngine:
         """
         analysis = self._rule_analyses[id(rule)]
         return self._fire(
-            rule, analysis, binding, used_facts, store, node_of, step, result, admit=admit
+            rule,
+            analysis,
+            binding,
+            used_facts,
+            store,
+            node_of,
+            step,
+            result,
+            admit=admit,
+            sink=sink,
         )
 
     def dom_guards_hold(
@@ -600,7 +639,10 @@ class ChaseEngine:
         round_index: int,
         result: ChaseResult,
         admit=None,
+        sink=None,
     ) -> List[ChaseNode]:
+        if sink is None:
+            sink = store
         full_binding = dict(binding)
         try:
             for assignment in rule.assignments:
@@ -628,7 +670,7 @@ class ChaseEngine:
         for head_atom in rule.head:
             head_fact = self._instantiate_head(head_atom, full_binding)
             result.candidate_facts += 1
-            if head_fact in store:
+            if head_fact in sink:
                 continue
             node = derived_node(
                 fact=head_fact,
@@ -640,7 +682,7 @@ class ChaseEngine:
             )
             if not admit(node):
                 continue
-            store.add(head_fact)
+            sink.add(head_fact)
             node_of[head_fact] = node
             result.nodes.append(node)
             result.chase_steps += 1
@@ -775,8 +817,28 @@ def run_chase(
     strategy: Optional[TerminationStrategy] = None,
     config: Optional[ChaseConfig] = None,
     executor: str = "compiled",
+    parallelism: Optional[int] = None,
+    parallel_backend: str = "threads",
 ) -> ChaseResult:
-    """One-call helper: build a :class:`ChaseEngine` and run it."""
+    """One-call helper: build a :class:`ChaseEngine` and run it.
+
+    ``executor="parallel"`` routes through the sharded round executor
+    (:class:`repro.engine.partition.ParallelChaseEngine`); ``parallelism``
+    and ``parallel_backend`` are only meaningful there.
+    """
+    if executor == "parallel":
+        # Imported lazily: the engine package imports this module.
+        from ..engine.partition import ParallelChaseEngine
+
+        parallel_engine = ParallelChaseEngine(
+            program,
+            database,
+            strategy=strategy,
+            config=config,
+            parallelism=parallelism,
+            backend=parallel_backend,
+        )
+        return parallel_engine.run()
     engine = ChaseEngine(
         program, database, strategy=strategy, config=config, executor=executor
     )

@@ -20,7 +20,7 @@ import operator
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Mapping, Tuple
 
-from .expressions import Binding, Expression, ExpressionError, VariableRef
+from .expressions import Binding, Expression, ExpressionError
 from .terms import Constant, Null, Term, Variable
 
 _COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {

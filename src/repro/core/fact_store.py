@@ -13,6 +13,25 @@ two dictionary lookups and no tuple allocation.  On top of the full indexes
 the store maintains **per-round delta indexes** (:meth:`begin_round`) used
 by the compiled rule executors for semi-naive evaluation, plus the insertion
 round of every fact so executors can restrict probes to earlier rounds.
+
+Since PR 4 the mutation paths are split into an explicit **read-snapshot /
+write-batch** protocol shared by all executors:
+
+* :meth:`FactStore.snapshot` returns a :class:`StoreSnapshot` — a read-only
+  view of the store at the current mutation epoch exposing exactly the
+  probe API the compiled executors consume.  Snapshots are what the
+  parallel executor hands to its matching workers: thread workers share the
+  view directly (the engine guarantees no writes happen while a matching
+  phase is in flight — the snapshot's epoch check enforces it), fork
+  workers inherit a copy-on-write image of it.
+* :meth:`FactStore.write_batch` returns a :class:`WriteBatch` — a staged
+  single-writer sink with the same duck interface as the store's own
+  mutation entry points (``add``/``contains_row``/``in_active_domain``).
+  Staged facts are visible to duplicate checks immediately but enter the
+  indexes only on :meth:`WriteBatch.apply`; the chase engines use batches
+  for bulk input loading and the parallel admission stage, while the
+  per-fact executors (naive/compiled firing, the streaming pipeline) keep
+  writing through :meth:`FactStore.add`, the degenerate auto-commit writer.
 """
 
 from __future__ import annotations
@@ -25,15 +44,25 @@ from .terms import Constant, Term, Variable
 _EMPTY: Tuple[Fact, ...] = ()
 
 
+class StaleSnapshotError(RuntimeError):
+    """A read hit a :class:`StoreSnapshot` after its store was mutated."""
+
+
 class FactStore:
     """A set of facts with per-position hash indexes and insertion order."""
 
     def __init__(self, facts: Iterable[Fact] = ()) -> None:
         self._facts: List[Fact] = []
-        # Dedup set keyed by (predicate, terms) — the exact equality of Fact
+        # Dedup map keyed by (predicate, terms) — the exact equality of Fact
         # itself — so membership works for whole facts and for rows the
-        # compiled fire path has not turned into Fact objects yet.
-        self._rows: Set[Tuple[str, Tuple[Term, ...]]] = set()
+        # compiled fire path has not turned into Fact objects yet.  The value
+        # is the fact's position in ``_facts``: a stable integer identity
+        # that parallel fork workers use to refer to facts across process
+        # boundaries without pickling them.
+        self._rows: Dict[Tuple[str, Tuple[Term, ...]], int] = {}
+        # Incremented on every mutation; snapshots record it and refuse
+        # reads once it moved on (see :class:`StoreSnapshot`).
+        self._epoch: int = 0
         self._by_predicate: Dict[str, List[Fact]] = {}
         # predicate -> list of per-position {term: [facts]} dictionaries
         self._position_index: Dict[str, List[Dict[Term, List[Fact]]]] = {}
@@ -49,11 +78,18 @@ class FactStore:
 
     # -- mutation ------------------------------------------------------------
     def add(self, fact: Fact) -> bool:
-        """Insert a fact; returns ``False`` when an identical fact is present."""
+        """Insert a fact; returns ``False`` when an identical fact is present.
+
+        This is the single commit path of the store — the auto-commit
+        writer.  Bulk insertions and the parallel admission stage go through
+        :meth:`write_batch`, which stages facts first and funnels them back
+        through this method on :meth:`WriteBatch.apply`.
+        """
         key = (fact.predicate, fact.terms)
         if key in self._rows:
             return False
-        self._rows.add(key)
+        self._epoch += 1
+        self._rows[key] = len(self._facts)
         self._facts.append(fact)
         self._facts_cache = None
         self._round_of[fact] = self.current_round
@@ -101,6 +137,20 @@ class FactStore:
             self._facts_cache = tuple(self._facts)
         return self._facts_cache
 
+    def fact_at(self, index: int) -> Fact:
+        """The fact at insertion position ``index`` (see :meth:`index_of_row`)."""
+        return self._facts[index]
+
+    def index_of_row(self, predicate: str, terms: Tuple[Term, ...]) -> int:
+        """Insertion position of a stored row; raises ``KeyError`` when absent.
+
+        Positions are stable for the lifetime of the store, so they serve as
+        process-portable fact identities: a fork worker whose store image was
+        inherited at round start resolves the same index to the same fact as
+        the parent.
+        """
+        return self._rows[(predicate, terms)]
+
     def predicates(self) -> Tuple[str, ...]:
         return tuple(self._by_predicate)
 
@@ -125,6 +175,7 @@ class FactStore:
         grouped by predicate and indexed per position so compiled executors
         can seed their joins from the delta with indexed probes.
         """
+        self._epoch += 1
         self.current_round = round_index
         self._delta_by_predicate = {}
         self._delta_index = {}
@@ -223,3 +274,164 @@ class FactStore:
 
     def copy(self) -> "FactStore":
         return FactStore(self._facts)
+
+    # -- read-snapshot / write-batch protocol --------------------------------
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; bumped by every insert and every round start."""
+        return self._epoch
+
+    def snapshot(self) -> "StoreSnapshot":
+        """A read-only view of the store at the current mutation epoch."""
+        return StoreSnapshot(self)
+
+    def write_batch(self) -> "WriteBatch":
+        """A staged single-writer sink; see :class:`WriteBatch`."""
+        return WriteBatch(self)
+
+
+class StoreSnapshot:
+    """Read-only view of a :class:`FactStore` at a fixed mutation epoch.
+
+    The snapshot exposes exactly the probe API the compiled rule executors
+    consume (:class:`~repro.engine.joins.CompiledRuleExecutor` only reads),
+    so an executor can run against a snapshot or a live store
+    interchangeably.  It is a zero-copy facade: reads delegate to the
+    underlying store and a cheap epoch check at every entry point raises
+    :class:`StaleSnapshotError` if the store was mutated after the snapshot
+    was taken — the guard that makes "workers never observe a half-applied
+    write" an invariant instead of a convention.  (Fork workers operate on
+    a copy-on-write process image, so their snapshot can never go stale.)
+    """
+
+    __slots__ = ("_store", "_epoch")
+
+    def __init__(self, store: FactStore) -> None:
+        self._store = store
+        self._epoch = store.epoch
+
+    def _check(self) -> FactStore:
+        store = self._store
+        if store.epoch != self._epoch:
+            raise StaleSnapshotError(
+                "store mutated after the snapshot was taken "
+                f"(epoch {store.epoch} != snapshot epoch {self._epoch})"
+            )
+        return store
+
+    @property
+    def stale(self) -> bool:
+        return self._store.epoch != self._epoch
+
+    # The per-call check costs one attribute read and one comparison; the
+    # executors' inner loops then use the returned structures directly.
+    def by_predicate(self, predicate: str) -> Sequence[Fact]:
+        return self._check().by_predicate(predicate)
+
+    def position_dicts(self, predicate: str) -> Optional[List[Dict[Term, List[Fact]]]]:
+        return self._check().position_dicts(predicate)
+
+    def position_candidates(self, predicate: str, position: int, term: Term) -> Sequence[Fact]:
+        return self._check().position_candidates(predicate, position, term)
+
+    def delta_facts(self, predicate: str) -> Sequence[Fact]:
+        return self._check().delta_facts(predicate)
+
+    def delta_candidates(self, predicate: str, position: int, term: Term) -> Sequence[Fact]:
+        return self._check().delta_candidates(predicate, position, term)
+
+    def candidates(self, atom: Atom, binding: Dict[Variable, Term]) -> Sequence[Fact]:
+        return self._check().candidates(atom, binding)
+
+    def matches(self, atom: Atom, binding: Optional[Dict[Variable, Term]] = None):
+        return self._check().matches(atom, binding)
+
+    def round_of(self, fact: Fact) -> int:
+        # Called once per probed candidate in the innermost loop: skip the
+        # per-call epoch check — the candidate sequence it is applied to was
+        # obtained through a checked entry point in the same phase.
+        return self._store.round_of(fact)
+
+    def contains_row(self, predicate: str, terms: Tuple[Term, ...]) -> bool:
+        return self._check().contains_row(predicate, terms)
+
+    def fact_at(self, index: int) -> Fact:
+        return self._check().fact_at(index)
+
+    def index_of_row(self, predicate: str, terms: Tuple[Term, ...]) -> int:
+        return self._check().index_of_row(predicate, terms)
+
+    def in_active_domain(self, value: Hashable) -> bool:
+        return self._check().in_active_domain(value)
+
+    def __len__(self) -> int:
+        return len(self._check())
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._check()
+
+
+class WriteBatch:
+    """Staged writes against a :class:`FactStore` (the single-writer sink).
+
+    A batch exposes the same duck interface as the store's own mutation
+    entry points — ``add`` returning ``False`` on duplicates,
+    ``contains_row``, ``__contains__``, ``in_active_domain``, ``__len__`` —
+    so the chase fire paths can write to either without branching.  Staged
+    facts are visible to the batch's *own* duplicate and active-domain
+    checks immediately (the admission stage must not admit the same head
+    twice within a round) but reach the store's indexes only on
+    :meth:`apply`, which commits in staging order through
+    :meth:`FactStore.add`.  Until then, concurrent readers of the store —
+    and any :class:`StoreSnapshot` taken before the batch — observe a
+    consistent pre-batch state.
+    """
+
+    __slots__ = ("_store", "_staged", "_staged_rows", "_staged_constants")
+
+    def __init__(self, store: FactStore) -> None:
+        self._store = store
+        self._staged: List[Fact] = []
+        self._staged_rows: Set[Tuple[str, Tuple[Term, ...]]] = set()
+        self._staged_constants: Set[Hashable] = set()
+
+    def add(self, fact: Fact) -> bool:
+        """Stage a fact; returns ``False`` when present in store or batch."""
+        key = (fact.predicate, fact.terms)
+        if key in self._staged_rows or self._store.contains_row(fact.predicate, fact.terms):
+            return False
+        self._staged_rows.add(key)
+        self._staged.append(fact)
+        for term in fact.terms:
+            if isinstance(term, Constant):
+                self._staged_constants.add(term.value)
+        return True
+
+    def contains_row(self, predicate: str, terms: Tuple[Term, ...]) -> bool:
+        return (predicate, terms) in self._staged_rows or self._store.contains_row(
+            predicate, terms
+        )
+
+    def __contains__(self, fact: Fact) -> bool:
+        return self.contains_row(fact.predicate, fact.terms)
+
+    def in_active_domain(self, value: Hashable) -> bool:
+        return self._store.in_active_domain(value) or value in self._staged_constants
+
+    def __len__(self) -> int:
+        """Store size as if the batch were already applied (safety limits)."""
+        return len(self._store) + len(self._staged)
+
+    @property
+    def pending(self) -> int:
+        return len(self._staged)
+
+    def apply(self) -> List[Fact]:
+        """Commit the staged facts to the store, in staging order."""
+        staged, self._staged = self._staged, []
+        self._staged_rows = set()
+        self._staged_constants = set()
+        add = self._store.add
+        for fact in staged:
+            add(fact)
+        return staged

@@ -25,8 +25,8 @@ used by the Figure-7 ablation benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Set
 
 from .atoms import Fact
 from .forests import ChaseNode

@@ -16,7 +16,7 @@ outputs).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from .atoms import Atom
 from .isomorphism import atom_structure_key

@@ -8,6 +8,13 @@ from .annotations import (
 )
 from .buffer import BufferCache, BufferSegment
 from .joins import CompiledRuleExecutor, JoinInput, SlotMachineJoin, hash_join
+from .partition import (
+    ParallelChaseEngine,
+    RoundPartitioner,
+    partition_facts,
+    shard_of,
+    stable_term_hash,
+)
 from .pipeline import (
     PipelineExecutor,
     PipelineStats,
@@ -26,6 +33,7 @@ from .plan import (
     compile_plan,
     compile_source_pushdowns,
     compile_rule_join_plan,
+    seed_partition_positions,
 )
 from .reasoner import ReasoningResult, VadalogReasoner, reason
 from .record_managers import (
@@ -52,6 +60,11 @@ __all__ = [
     "JoinInput",
     "SlotMachineJoin",
     "hash_join",
+    "ParallelChaseEngine",
+    "RoundPartitioner",
+    "partition_facts",
+    "shard_of",
+    "stable_term_hash",
     "PipelineExecutor",
     "PipelineStats",
     "RuleFilterNode",
@@ -67,6 +80,7 @@ __all__ = [
     "compile_join_plans",
     "compile_plan",
     "compile_rule_join_plan",
+    "seed_partition_positions",
     "ReasoningResult",
     "VadalogReasoner",
     "reason",

@@ -19,8 +19,8 @@ swapped back in on demand.
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass

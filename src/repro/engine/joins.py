@@ -14,7 +14,7 @@ input, which positions form the join key.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Fact
@@ -232,7 +232,9 @@ class CompiledRuleExecutor:
                 return False
         return True
 
-    def matches(self, store, round_index: int) -> Iterator[Tuple[List, List[Fact]]]:
+    def matches(
+        self, store, round_index: int, seed_lists: Optional[Sequence[Sequence[Fact]]] = None
+    ) -> Iterator[Tuple[List, List[Fact]]]:
         """Enumerate full body matches over the current delta.
 
         Yields the executor's *live* ``(slots, used_facts)`` pair — the slot
@@ -244,6 +246,14 @@ class CompiledRuleExecutor:
         (the standard semi-naive decomposition avoiding duplicate joins
         across seed choices).
 
+        ``store`` may be the live :class:`~repro.core.fact_store.FactStore`
+        or a read-only :class:`~repro.core.fact_store.StoreSnapshot` — the
+        executor only reads.  ``seed_lists``, when given, supplies the seed
+        candidates externally (one sequence per seed plan, aligned with
+        ``plan.seed_plans``): the parallel executor passes each worker its
+        hash-shard of the delta this way, bypassing the store's own delta
+        lookup while every positional check still runs per candidate.
+
         The probe walk is an explicit iterative backtracking loop with the
         admission checks inlined: this is the innermost loop of the whole
         system, and generator recursion plus one function call per candidate
@@ -254,8 +264,11 @@ class CompiledRuleExecutor:
         n_slots = len(self.plan.variables)
         body_length = self.plan.body_length
         sentinel = None
-        for seed, probes in self._schedule:
-            seed_candidates = self._seed_candidates(seed, store)
+        for plan_index, (seed, probes) in enumerate(self._schedule):
+            if seed_lists is None:
+                seed_candidates = self._seed_candidates(seed, store)
+            else:
+                seed_candidates = seed_lists[plan_index]
             if not seed_candidates:
                 continue
             slots: List[Optional[object]] = [None] * n_slots

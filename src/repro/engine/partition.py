@@ -1,0 +1,482 @@
+"""Sharded parallel chase evaluation (PR 4).
+
+The warded chase decomposes cleanly into independent units of work (cf. the
+streaming architecture of Baldazzi et al., arXiv:2311.12236): within one
+semi-naive round, every rule's matches are a function of the *previous*
+round's delta and the store as it stood at round start — nothing a worker
+derives is visible to another worker until the next round.  The parallel
+executor exploits exactly that:
+
+1. **Partition** — each rule's delta is hash-partitioned into N shards on
+   the seed atom's join key (:func:`repro.engine.plan.seed_partition_positions`
+   picks the key from seed-slot selectivity; :func:`shard_of` hashes it with
+   a process-stable hash so shard assignment does not depend on
+   ``PYTHONHASHSEED``).
+2. **Match** — a ``concurrent.futures`` worker pool evaluates every rule's
+   compiled :class:`~repro.engine.plan.RuleJoinPlan` per shard against a
+   read-only :class:`~repro.core.fact_store.StoreSnapshot`.  The default
+   ``threads`` backend shares the snapshot zero-copy (true parallelism on
+   free-threaded CPython; on GIL builds it degrades to compiled-equivalent
+   throughput).  The ``fork`` backend forks one process pool per batched
+   delta round: children inherit the snapshot copy-on-write and return
+   matches as tuples of *store fact indexes*, so only small integers cross
+   the process boundary.
+3. **Admit** — a single-writer admission stage on the driver thread replays
+   the matches in deterministic (rule, shard) order through the standard
+   chase fire paths: semi-naive dedup, fresh-null generation, forest
+   metadata and the termination strategy's ``admit`` all run exactly as in
+   the sequential executors, staging derived facts in a
+   :class:`~repro.core.fact_store.WriteBatch` that commits at round end.
+
+Rules carrying a monotonic aggregation are *not* sharded: their aggregate
+evaluators are stateful and enumeration-order sensitive, so they are
+evaluated on the driver against the live store, in program order,
+interleaved with the admission stage — the same totally-ordered stream the
+``compiled`` executor produces.  This keeps ``executor="parallel"``
+answer-identical to ``compiled``: ground answers exactly, null-carrying
+facts up to labelled-null isomorphism.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Fact
+from ..core.chase import ChaseConfig, ChaseEngine, ChaseLimitError, ChaseResult
+from ..core.fact_store import FactStore
+from ..core.forests import ChaseNode
+from ..core.rules import Program, Rule
+from ..core.terms import Constant, Null, NullFactory, Term
+from ..core.termination import TerminationStrategy
+from ..core.wardedness import ProgramAnalysis
+from .joins import CompiledRuleExecutor
+from .plan import seed_partition_positions
+
+PARALLEL_BACKENDS = ("threads", "fork")
+
+_HASH_MULT = 1000003  # the classic CPython tuple-hash multiplier
+
+
+def stable_term_hash(term: Term) -> int:
+    """A hash of a ground term that is stable across processes and runs.
+
+    Python's built-in ``hash`` of strings is salted per process
+    (``PYTHONHASHSEED``), so it cannot decide shard membership: fork workers
+    and the driver must agree on the partition, and two runs of the same
+    program should shard — and therefore fire — identically.  Constants are
+    hashed by a CRC of a type-tagged canonical encoding; labelled nulls by
+    their (stable) integer ident.
+    """
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, str):
+            data = b"s" + value.encode("utf-8", "surrogatepass")
+        elif isinstance(value, bool):
+            data = b"b1" if value else b"b0"
+        elif isinstance(value, int):
+            data = b"i" + str(value).encode("ascii")
+        elif isinstance(value, float):
+            data = b"f" + repr(value).encode("ascii")
+        else:
+            data = b"o" + repr(value).encode("utf-8", "backslashreplace")
+        return zlib.crc32(data)
+    if isinstance(term, Null):
+        return 0x9E3779B1 ^ term.ident
+    raise TypeError(f"cannot shard on non-ground term {term!r}")
+
+
+def shard_of(fact: Fact, positions: Tuple[int, ...], n_shards: int) -> int:
+    """The shard a delta fact belongs to, hashing the given key positions.
+
+    ``positions == ()`` means "no join key": the whole row is hashed, which
+    spreads seeds evenly.  A position beyond the fact's arity contributes
+    nothing (such a fact cannot match the seed step anyway — the executor's
+    positional arity check rejects it in whatever shard it lands).
+    """
+    if n_shards <= 1:
+        return 0
+    terms = fact.terms
+    h = 0
+    if positions:
+        for position in positions:
+            if position < len(terms):
+                h = (h * _HASH_MULT) ^ stable_term_hash(terms[position])
+    else:
+        for term in terms:
+            h = (h * _HASH_MULT) ^ stable_term_hash(term)
+    return h % n_shards
+
+
+def partition_facts(
+    facts: Iterable[Fact], n_shards: int, positions: Tuple[int, ...] = ()
+) -> List[List[Fact]]:
+    """Hash-partition ``facts`` into ``n_shards`` buckets (order-preserving)."""
+    shards: List[List[Fact]] = [[] for _ in range(max(1, n_shards))]
+    for fact in facts:
+        shards[shard_of(fact, positions, n_shards)].append(fact)
+    return shards
+
+
+class RoundPartitioner:
+    """Per-round shard assignment of the delta, memoized per (predicate, key).
+
+    Different rules seeding from the same predicate with the same partition
+    key share one partition pass.  ``seed_counts`` accumulates per *use*
+    (once per rule seed plan requesting a partition, even when the
+    partition itself came from the cache): each worker matches its shard
+    once per requesting seed plan, so the per-use sum is the per-shard
+    seed-matching workload that the shard-balance statistics on
+    :attr:`~repro.engine.reasoner.ReasoningResult.shard_balance` are meant
+    to expose.
+    """
+
+    def __init__(self, store, n_shards: int) -> None:
+        self._store = store
+        self.n_shards = n_shards
+        self._cache: Dict[Tuple[str, Tuple[int, ...]], List[List[Fact]]] = {}
+        self.seed_counts: List[int] = [0] * n_shards
+
+    def shards_for(
+        self, predicate: str, positions: Tuple[int, ...]
+    ) -> List[List[Fact]]:
+        key = (predicate, positions)
+        shards = self._cache.get(key)
+        if shards is None:
+            delta = self._store.delta_facts(predicate)
+            if self.n_shards == 1:
+                shards = [list(delta)]
+            else:
+                shards = partition_facts(delta, self.n_shards, positions)
+            self._cache[key] = shards
+        for index, bucket in enumerate(shards):
+            self.seed_counts[index] += len(bucket)
+        return shards
+
+
+# -- matching workers --------------------------------------------------------
+#
+# A worker receives the round's match specs — one (plan, per-seed-plan shard
+# lists) entry per parallel rule, in program order — plus the read-only
+# snapshot, and returns one list of matches per entry.  Thread workers
+# return the matched facts directly; fork workers return store fact indexes
+# (small ints) so results pickle cheaply and resolve to the parent's own
+# ``Fact`` objects on decode.
+
+#: Round state inherited by fork workers, keyed by a per-round token so
+#: concurrent parallel runs in one process never observe each other's
+#: state: each run inserts its entry before creating its pool (children
+#: fork with the whole map and look up their own token) and deletes only
+#: that entry once its results are collected.
+_FORK_STATE: Dict[int, Tuple[List[Tuple[object, List[List[List[Fact]]]]], object, int]] = {}
+_FORK_TOKENS = itertools.count()
+
+
+def _match_entries(
+    entries: Sequence[Tuple[object, List[List[List[Fact]]]]],
+    reader,
+    round_index: int,
+    shard: int,
+    encode: bool,
+) -> List[List[Tuple]]:
+    """Match every spec's shard against the snapshot; one result list per spec."""
+    results: List[List[Tuple]] = []
+    for plan, seed_shards in entries:
+        # A fresh executor per (worker, rule): the schedule is derived from
+        # the shared immutable plan, while the stats counters stay private
+        # to the worker — no cross-thread races on the hot loop.
+        executor = CompiledRuleExecutor(plan)
+        seed_lists = [shards[shard] for shards in seed_shards]
+        matched: List[Tuple] = []
+        if encode:
+            index_of = reader.index_of_row
+            for _slots, used in executor.matches(reader, round_index, seed_lists=seed_lists):
+                matched.append(tuple(index_of(f.predicate, f.terms) for f in used))
+        else:
+            for _slots, used in executor.matches(reader, round_index, seed_lists=seed_lists):
+                matched.append(tuple(used))
+        results.append(matched)
+    return results
+
+
+def _fork_match_shard(task: Tuple[int, int]) -> List[List[Tuple[int, ...]]]:
+    """Fork-pool entry point: match one shard against the inherited snapshot."""
+    token, shard = task
+    entries, reader, round_index = _FORK_STATE[token]
+    return _match_entries(entries, reader, round_index, shard, encode=True)
+
+
+class ParallelChaseEngine(ChaseEngine):
+    """Sharded parallel round evaluation on top of the compiled chase.
+
+    Overrides :meth:`ChaseEngine._evaluate_round` with the three-stage
+    partition / match / admit protocol described in the module docstring;
+    everything else — input loading, termination, violation checks, firing
+    semantics — is inherited unchanged from the sequential engine.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Iterable[Fact] = (),
+        strategy: Optional[TerminationStrategy] = None,
+        analysis: Optional[ProgramAnalysis] = None,
+        null_factory: Optional[NullFactory] = None,
+        config: Optional[ChaseConfig] = None,
+        join_plans: Optional[Dict[int, object]] = None,
+        parallelism: Optional[int] = None,
+        backend: str = "threads",
+    ) -> None:
+        if backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; use one of "
+                f"{', '.join(PARALLEL_BACKENDS)}"
+            )
+        if backend == "fork" and "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError("the 'fork' backend is not available on this platform")
+        if parallelism is None:
+            parallelism = max(1, min(4, os.cpu_count() or 1))
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        super().__init__(
+            program,
+            database,
+            strategy=strategy,
+            analysis=analysis,
+            null_factory=null_factory,
+            config=config,
+            executor="compiled",
+            join_plans=join_plans,
+        )
+        self.executor = "parallel"
+        self.parallelism = parallelism
+        self.backend = backend
+        self.shard_stats: List[Dict[str, object]] = []
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        # Aggregate rules are enumeration-order sensitive (stateful
+        # monotonic evaluators) and stay on the driver; everything else is
+        # sharded.  Per parallel rule, precompute the partition key of each
+        # seed plan and the slot-rebind recipe used to reconstruct the slot
+        # array from a match's used facts.
+        self._partition_positions: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        self._rebind: Dict[int, Tuple[Tuple[int, Tuple[Tuple[int, int], ...]], ...]] = {}
+        for rule in program.rules:
+            if rule.aggregate is not None:
+                continue
+            plan = self._compiled[id(rule)].plan
+            self._partition_positions[id(rule)] = tuple(
+                seed_partition_positions(seed_plan) for seed_plan in plan.seed_plans
+            )
+            slot_of = plan.slot_of
+            rebind = []
+            for atom_index, atom in enumerate(rule.relational_body):
+                writes = tuple(
+                    (pos, slot_of[term])
+                    for pos, term in enumerate(atom.terms)
+                    if term in slot_of
+                )
+                rebind.append((atom_index, writes))
+            self._rebind[id(rule)] = tuple(rebind)
+
+    # ------------------------------------------------------------------ pools
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.parallelism, thread_name_prefix="repro-chase"
+            )
+        return self._thread_pool
+
+    def _shutdown_pool(self) -> None:
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> ChaseResult:
+        self.shard_stats = []
+        try:
+            result = super().run()
+        finally:
+            self._shutdown_pool()
+        result.extra_stats["parallel_workers"] = self.parallelism
+        result.extra_stats["parallel_backend"] = self.backend
+        result.extra_stats["parallel_shard_balance"] = list(self.shard_stats)
+        return result
+
+    # ------------------------------------------------------------- round loop
+    def _evaluate_round(
+        self,
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        delta: List[ChaseNode],
+        round_index: int,
+        result: ChaseResult,
+    ) -> List[ChaseNode]:
+        delta_facts = [node.fact for node in delta]
+        store.begin_round(round_index, delta_facts)
+        n_shards = self.parallelism
+
+        # Stage 1: partition each parallel rule's delta by its seed join key.
+        partitioner = RoundPartitioner(store, n_shards)
+        specs: List[Tuple[Rule, object, List[List[List[Fact]]]]] = []
+        for rule in self.program.rules:
+            if rule.aggregate is not None:
+                continue
+            plan = self._compiled[id(rule)].plan
+            seed_shards = [
+                partitioner.shards_for(seed_plan.seed.predicate, positions)
+                for seed_plan, positions in zip(
+                    plan.seed_plans, self._partition_positions[id(rule)]
+                )
+            ]
+            specs.append((rule, plan, seed_shards))
+
+        # Stage 2: match every (rule, shard) on the worker pool against a
+        # read-only snapshot of the store.
+        per_shard = self._match_phase(store, specs, round_index, n_shards)
+
+        # Stage 3: single-writer admission, in deterministic (rule, shard)
+        # order, staging derived facts in a write batch.  Aggregate rules
+        # are interleaved here, in program order, against the live store.
+        batch = store.write_batch()
+        new_nodes: List[ChaseNode] = []
+        match_counts = [0] * n_shards
+        spec_index = 0
+        for rule in self.program.rules:
+            if rule.aggregate is not None:
+                # Make staged facts visible to the live matcher first.
+                batch.apply()
+                produced = self._apply_rule(rule, store, node_of, {}, round_index, result)
+            else:
+                rule_matches = [per_shard[shard][spec_index] for shard in range(n_shards)]
+                spec_index += 1
+                produced = self._admit_rule(
+                    rule, rule_matches, store, batch, node_of, round_index, result,
+                    match_counts,
+                )
+            new_nodes.extend(produced)
+            if self.config.max_facts is not None and len(batch) > self.config.max_facts:
+                raise ChaseLimitError(
+                    f"chase exceeded the configured maximum of {self.config.max_facts} facts"
+                )
+        batch.apply()
+
+        seed_total = sum(partitioner.seed_counts)
+        busiest = max(match_counts) if match_counts else 0
+        mean = (sum(match_counts) / n_shards) if n_shards else 0.0
+        self.shard_stats.append(
+            {
+                "round": round_index,
+                "workers": n_shards,
+                "seed_facts": list(partitioner.seed_counts),
+                "matches": list(match_counts),
+                "seed_total": seed_total,
+                "imbalance": round(busiest / mean, 3) if mean > 0 else None,
+            }
+        )
+        return new_nodes
+
+    # --------------------------------------------------------------- matching
+    def _match_phase(
+        self,
+        store: FactStore,
+        specs: List[Tuple[Rule, object, List[List[List[Fact]]]]],
+        round_index: int,
+        n_shards: int,
+    ) -> List[List[List[Tuple]]]:
+        """Run the matching stage; returns per-shard, per-spec match lists."""
+        entries = [(plan, seed_shards) for _rule, plan, seed_shards in specs]
+        if not entries:
+            return [[] for _ in range(n_shards)]
+        snapshot = store.snapshot()
+        if n_shards == 1:
+            return [_match_entries(entries, snapshot, round_index, 0, encode=False)]
+        if self.backend == "fork":
+            return self._match_phase_fork(entries, snapshot, round_index, n_shards)
+        pool = self._ensure_thread_pool()
+        futures = [
+            pool.submit(_match_entries, entries, snapshot, round_index, shard, False)
+            for shard in range(n_shards)
+        ]
+        return [future.result() for future in futures]
+
+    def _match_phase_fork(
+        self, entries, snapshot, round_index: int, n_shards: int
+    ) -> List[List[List[Tuple]]]:
+        """One forked process pool per batched delta round.
+
+        Children inherit the snapshot (and everything reachable from it)
+        copy-on-write at pool start, so no program state is pickled out;
+        results come back as tuples of store fact indexes and are resolved
+        against the parent's facts in :meth:`_admit_rule`.
+        """
+        context = multiprocessing.get_context("fork")
+        token = next(_FORK_TOKENS)
+        _FORK_STATE[token] = (entries, snapshot, round_index)
+        try:
+            with ProcessPoolExecutor(max_workers=n_shards, mp_context=context) as pool:
+                return list(
+                    pool.map(_fork_match_shard, [(token, s) for s in range(n_shards)])
+                )
+        finally:
+            del _FORK_STATE[token]
+
+    # -------------------------------------------------------------- admission
+    def _admit_rule(
+        self,
+        rule: Rule,
+        rule_matches: List[List[Tuple]],
+        store: FactStore,
+        batch,
+        node_of: Dict[Fact, ChaseNode],
+        round_index: int,
+        result: ChaseResult,
+        match_counts: List[int],
+    ) -> List[ChaseNode]:
+        """Fire one rule's collected matches through the standard chase paths."""
+        analysis = self._rule_analyses[id(rule)]
+        plan = self._compiled[id(rule)].plan
+        rebind = self._rebind[id(rule)]
+        n_slots = len(plan.variables)
+        decode = self.backend == "fork" and self.parallelism > 1
+        fact_at = store.fact_at
+        produced: List[ChaseNode] = []
+        simple = plan.simple_fire
+        residual = plan.residual_conditions
+        variables = plan.variables
+        for shard, matches in enumerate(rule_matches):
+            match_counts[shard] += len(matches)
+            for used in matches:
+                if decode:
+                    used_facts = [fact_at(index) for index in used]
+                else:
+                    used_facts = list(used)
+                slots: List[Optional[Term]] = [None] * n_slots
+                for atom_index, writes in rebind:
+                    terms = used_facts[atom_index].terms
+                    for pos, slot in writes:
+                        slots[slot] = terms[pos]
+                if simple:
+                    self._fire_compiled(
+                        rule, analysis, plan, slots, used_facts,
+                        store, node_of, round_index, result, produced,
+                        sink=batch,
+                    )
+                    continue
+                binding = {variables[i]: slots[i] for i in range(n_slots)}
+                if residual and not all(c.holds(binding) for c in residual):
+                    continue
+                if not self._dom_guards_hold(rule, binding, batch):
+                    continue
+                produced.extend(
+                    self._fire(
+                        rule, analysis, binding, used_facts,
+                        store, node_of, round_index, result,
+                        sink=batch,
+                    )
+                )
+        return produced

@@ -16,11 +16,15 @@ the four compilation steps of the pipeline architecture:
    the chase through the compiled executors with the warded termination
    strategy (Algorithm 1) and extracts the answers, applying the
    post-processing annotations.  Pass ``executor="naive"`` to fall back to
-   the interpreted matcher (the reference path for differential testing) or
+   the interpreted matcher (the reference path for differential testing),
    ``executor="streaming"`` for the pull-based pipeline runtime
    (:mod:`repro.engine.pipeline`): query-driven, buffer-backed and able to
    return first answers before the model is fully materialized —
-   :meth:`VadalogReasoner.stream` exposes the lazy variant.
+   :meth:`VadalogReasoner.stream` exposes the lazy variant — or
+   ``executor="parallel"`` for the sharded worker-pool chase
+   (:mod:`repro.engine.partition`): the delta is hash-partitioned on the
+   seed join key across ``parallelism=`` workers and merged through a
+   single-writer admission stage, answer-identical to ``compiled``.
 
 Typical usage::
 
@@ -81,7 +85,7 @@ from .record_managers import (
 from .scheduler import RoundRobinScheduler, SchedulerReport
 from .wrappers import WrapperRegistry
 
-EXECUTORS = ("compiled", "naive", "streaming")
+EXECUTORS = ("compiled", "naive", "streaming", "parallel")
 
 DatabaseLike = Union[Database, Mapping[str, Iterable[Sequence[object]]], Iterable[Fact], None]
 
@@ -112,6 +116,10 @@ class ReasoningResult:
     #: pushdown applied, cache hits, rows written back).  Empty when the run
     #: used no external bindings.
     source_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Per-round shard-balance statistics of the parallel executor: one dict
+    #: per chase round with the per-shard seed-fact and match counts and the
+    #: busiest-to-mean imbalance ratio.  Empty on the other executors.
+    shard_balance: List[Dict[str, object]] = field(default_factory=list)
     _finalizer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def facts(self, predicate: str) -> Tuple[Fact, ...]:
@@ -184,6 +192,8 @@ class VadalogReasoner:
         chase_config: Optional[ChaseConfig] = None,
         base_path: Optional[str] = None,
         executor: str = "compiled",
+        parallelism: Optional[int] = None,
+        parallel_backend: str = "threads",
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -196,6 +206,12 @@ class VadalogReasoner:
         self.chase_config = chase_config or ChaseConfig()
         self.base_path = base_path
         self.executor = executor
+        #: Worker/shard count of the parallel executor (``None`` = auto:
+        #: ``min(4, cpu_count)``); ignored by the other executors.
+        self.parallelism = parallelism
+        #: ``"threads"`` (persistent pool, shared read snapshot) or
+        #: ``"fork"`` (per-round process pool, copy-on-write snapshot).
+        self.parallel_backend = parallel_backend
         self.warnings: List[str] = []
         self.harmful_join_rewriting: Optional[HarmfulJoinEliminationResult] = None
         #: ``@bind`` resolution is memoized across runs so the per-source
@@ -284,15 +300,29 @@ class VadalogReasoner:
                 registry.wrapper_for(f"rule:{rule.label}")
 
             chase_started = time.perf_counter()
-            engine = ChaseEngine(
-                self.program,
-                facts,
-                strategy=chosen,
-                analysis=self.analysis,
-                config=self.chase_config,
-                executor=self.executor,
-                join_plans=self.join_plans,
-            )
+            if self.executor == "parallel":
+                from .partition import ParallelChaseEngine
+
+                engine: ChaseEngine = ParallelChaseEngine(
+                    self.program,
+                    facts,
+                    strategy=chosen,
+                    analysis=self.analysis,
+                    config=self.chase_config,
+                    join_plans=self.join_plans,
+                    parallelism=self.parallelism,
+                    backend=self.parallel_backend,
+                )
+            else:
+                engine = ChaseEngine(
+                    self.program,
+                    facts,
+                    strategy=chosen,
+                    analysis=self.analysis,
+                    config=self.chase_config,
+                    executor=self.executor,
+                    join_plans=self.join_plans,
+                )
             chase_result = engine.run()
             timings["chase"] = time.perf_counter() - chase_started
 
@@ -317,6 +347,9 @@ class VadalogReasoner:
             timings=timings,
             pipeline=pipeline,
             source_stats=bindings.source_stats(),
+            shard_balance=list(
+                chase_result.extra_stats.get("parallel_shard_balance", ())
+            ),
         )
 
     def stream(
@@ -502,7 +535,15 @@ def reason(
     certain: bool = False,
     strategy: Union[str, TerminationStrategy, None] = "warded",
     executor: str = "compiled",
+    parallelism: Optional[int] = None,
+    parallel_backend: str = "threads",
 ) -> ReasoningResult:
     """One-call helper: build a :class:`VadalogReasoner` and run it."""
-    reasoner = VadalogReasoner(program, strategy=strategy, executor=executor)
+    reasoner = VadalogReasoner(
+        program,
+        strategy=strategy,
+        executor=executor,
+        parallelism=parallelism,
+        parallel_backend=parallel_backend,
+    )
     return reasoner.reason(database=database, outputs=outputs, certain=certain)

@@ -17,12 +17,12 @@ peek at resolution time) — and carries the predicate's compiled
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
 
 from ..core.atoms import Fact
 from ..core.terms import Constant
 from ..storage.csv_io import load_relation_csv
-from ..storage.database import Database, Relation
+from ..storage.database import Database
 
 
 class RecordManager:

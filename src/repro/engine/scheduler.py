@@ -27,7 +27,7 @@ Two schedulers live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set
 
 from ..core.rules import Program, Rule
 from .plan import ReasoningAccessPlan

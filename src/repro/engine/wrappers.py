@@ -11,8 +11,8 @@ which the wrappers delegate to so that all filters see a consistent view.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from ..core.forests import ChaseNode
 from ..core.termination import TerminationStrategy

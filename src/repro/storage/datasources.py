@@ -42,7 +42,7 @@ import json
 import operator
 import sqlite3
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Callable,

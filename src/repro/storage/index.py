@@ -10,7 +10,7 @@ join operator and by tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")

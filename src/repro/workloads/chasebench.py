@@ -19,7 +19,6 @@ chase / query-answering engine.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
 
 from ..core.parser import parse_program
 from ..storage.database import Database

@@ -21,7 +21,7 @@ multi-query that activates all of them, exactly as in the paper.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.atoms import Atom

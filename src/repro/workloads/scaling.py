@@ -15,11 +15,11 @@ variations of the SynthB scenario of Section 6.1:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..core.atoms import Atom
 from ..core.rules import Program, Rule
-from ..core.terms import Constant, Variable
+from ..core.terms import Variable
 from ..storage.database import Database
 from .iwarded import SCENARIO_CONFIGS, generate_iwarded
 from .scenario import Scenario

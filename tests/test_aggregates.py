@@ -9,10 +9,8 @@ from repro.core.aggregates import (
     MonotonicAggregate,
     is_increasing,
 )
-from repro.core.atoms import fact
 from repro.core.conditions import AggregateSpec
 from repro.core.expressions import var
-from repro.core.parser import parse_program
 from repro.core.terms import Variable
 from repro.engine.reasoner import reason
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.chase import ChaseConfig, ChaseEngine, ChaseLimitError, run_chase
+from repro.core.chase import ChaseConfig, ChaseLimitError, run_chase
 from repro.core.forests import LinearForest, WardedForest
 from repro.core.parser import parse_program
 from repro.core.atoms import fact
@@ -136,7 +136,9 @@ class TestTerminationStrategies:
         program = normalize_for_chase(parse_program(EXAMPLE_3))
         warded = run_chase(program, EXAMPLE_3_DB, strategy=WardedTerminationStrategy())
         trivial = run_chase(program, EXAMPLE_3_DB, strategy=TrivialIsomorphismStrategy())
-        ground = lambda r: {f.values() for f in r.facts("KeyPerson") if not f.has_nulls}
+        def ground(r):
+            return {f.values() for f in r.facts("KeyPerson") if not f.has_nulls}
+
         assert ground(warded) == ground(trivial)
 
     def test_trivial_strategy_stores_every_fact(self):
@@ -152,7 +154,9 @@ class TestTerminationStrategies:
         trivial = TrivialIsomorphismStrategy()
         warded_result = run_chase(program, database, strategy=warded)
         trivial_result = run_chase(program, database, strategy=trivial)
-        ground = lambda r: {f.values() for f in r.facts("KeyPerson") if not f.has_nulls}
+        def ground(r):
+            return {f.values() for f in r.facts("KeyPerson") if not f.has_nulls}
+
         assert ground(warded_result) == ground(trivial_result)
         # Both strategies performed isomorphism checks and stayed bounded.
         assert warded.stats.isomorphism_checks > 0

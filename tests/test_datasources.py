@@ -16,7 +16,6 @@ from repro.core.parser import parse_program
 from repro.engine.annotations import (
     AnnotationError,
     collect_bindings,
-    write_output_bindings,
 )
 from repro.engine.plan import compile_source_pushdowns
 from repro.engine.reasoner import VadalogReasoner

@@ -13,9 +13,7 @@ from repro.core.expressions import (
     BinaryOp,
     ExpressionError,
     FunctionCall,
-    Literal,
     UnaryOp,
-    VariableRef,
     literal,
     term_expression,
     var,

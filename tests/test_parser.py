@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.atoms import Atom
 from repro.core.parser import VadalogSyntaxError, parse_fact, parse_program, parse_rule
 from repro.core.terms import Constant, Variable
 

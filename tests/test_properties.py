@@ -16,7 +16,7 @@ from repro.core.forests import WardedForest
 from repro.core.isomorphism import isomorphism_key
 from repro.core.parser import parse_program
 from repro.core.rules import Program, Rule
-from repro.core.terms import Constant, Null, Variable
+from repro.core.terms import Null, Variable
 from repro.core.termination import WardedTerminationStrategy
 from repro.core.transform import normalize_for_chase
 from repro.core.wardedness import analyse_program

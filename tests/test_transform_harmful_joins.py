@@ -15,7 +15,6 @@ from repro.core.harmful_joins import (
 )
 from repro.core.parser import parse_program
 from repro.core.skolem import SkolemTerm
-from repro.core.terms import Constant
 from repro.core.transform import (
     is_auxiliary_predicate,
     isolate_existentials,

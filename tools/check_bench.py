@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare a smoke run against a committed baseline.
+
+The gate re-runs the smoke-scale benchmark scenarios of
+``benchmarks/run_all.py`` (median of ``--runs``, default 3) for the
+requested executors and fails when any scenario got more than
+``--threshold`` (default 25%) slower than ``benchmarks/baseline_smoke.json``.
+
+Raw wall-clock baselines do not travel between machines, so the gate
+carries a **calibration** workload: a fixed, allocation-free arithmetic
+loop timed on every run and stored in the baseline.  Measured medians are
+compared against ``baseline * (calibration_now / calibration_baseline) *
+threshold`` — a CI runner that is uniformly 2x slower than the machine
+that produced the baseline moves the allowance with it, while a genuine
+regression in the reasoner does not move the calibration and trips the
+gate.  Sub-``--min-abs-slack`` differences (default 50 ms) never fail:
+the tiny smoke scenarios are noise-dominated below that.
+
+Usage::
+
+    python tools/check_bench.py --executor compiled parallel
+    python tools/check_bench.py --executor compiled --update-baseline
+    python tools/check_bench.py --executor compiled --inject-slowdown 2.0  # self-test
+
+``--inject-slowdown F`` multiplies every measured median by ``F`` before
+the comparison; it exists to prove the gate trips (the CI wiring is only
+trustworthy if an injected 2x slowdown fails the build).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import run_all  # noqa: E402  (benchmarks/run_all.py)
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline_smoke.json"
+
+#: The parallel executor's worker count is pinned so the gate measures the
+#: same configuration on every machine (the auto default scales with the
+#: host's CPU count, which would make the committed baseline incomparable).
+GATE_PARALLELISM = 2
+
+
+def calibrate(runs: int = 3) -> float:
+    """Median wall-clock of a fixed pure-Python arithmetic loop.
+
+    The loop shape (integer arithmetic, attribute-free, allocation-free)
+    is deliberately close to the interpreter profile of the join inner
+    loops, so machine-speed differences scale it the same way they scale
+    the benchmark scenarios.
+    """
+    samples = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        accumulator = 0
+        for i in range(2_000_000):
+            accumulator += i % 7
+        samples.append(time.perf_counter() - started)
+    if accumulator < 0:  # pragma: no cover - keeps the loop un-eliminable
+        raise AssertionError
+    return statistics.median(samples)
+
+
+def measure(executors, runs: int, only=None) -> dict:
+    """Median-of-``runs`` smoke elapsed per (scenario, executor)."""
+    scenarios = {}
+    for name, (_figure, _heavy, _recursive, _full, smoke) in run_all.SCENARIOS.items():
+        if only and name not in only:
+            continue
+        row = {}
+        for executor in executors:
+            kwargs = {"parallelism": GATE_PARALLELISM} if executor == "parallel" else {}
+            samples = [
+                run_all.run_one(smoke, executor, **kwargs)["elapsed_seconds"]
+                for _ in range(runs)
+            ]
+            row[executor] = round(statistics.median(samples), 4)
+            print(
+                f"   {name} [{executor}]: median {row[executor]:.4f}s "
+                f"of {sorted(samples)}",
+                flush=True,
+            )
+        scenarios[name] = row
+    return scenarios
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--executor",
+        nargs="+",
+        default=["compiled"],
+        choices=list(run_all.EXECUTORS),
+        help="executors to gate (default: compiled)",
+    )
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--runs", type=int, default=3, help="runs per median")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when median > baseline * calibration-scale * threshold",
+    )
+    parser.add_argument(
+        "--min-abs-slack",
+        type=float,
+        default=0.05,
+        help="never fail on absolute differences below this many seconds",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the measured medians as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="multiply measured medians by FACTOR (gate self-test)",
+    )
+    parser.add_argument("--only", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    executors = list(dict.fromkeys(args.executor))
+    print(f"calibrating ({args.runs} runs)...", flush=True)
+    calibration = calibrate(args.runs)
+    print(f"calibration: {calibration:.4f}s", flush=True)
+    print(f"measuring smoke scenarios (median of {args.runs})...", flush=True)
+    measured = measure(executors, args.runs, args.only)
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        merged = {"scenarios": {}}
+        if baseline_path.exists():
+            merged = json.loads(baseline_path.read_text())
+            # A partial update (--only / subset of executors) measured on a
+            # different machine would otherwise leave retained entries on
+            # the old machine's scale under the new calibration.  Rescale
+            # everything that was *not* re-measured to the new calibration
+            # so the file stays internally consistent.
+            old_calibration = merged.get("calibration_seconds")
+            if old_calibration:
+                rescale = calibration / old_calibration
+                for name, row in merged.get("scenarios", {}).items():
+                    for executor, value in row.items():
+                        if executor not in measured.get(name, {}):
+                            row[executor] = round(value * rescale, 4)
+        merged.update(
+            {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "calibration_seconds": round(calibration, 4),
+                "runs": args.runs,
+                "threshold": args.threshold,
+            }
+        )
+        for name, row in measured.items():
+            merged["scenarios"].setdefault(name, {}).update(row)
+        baseline_path.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(
+            f"baseline {baseline_path} does not exist; run with "
+            f"--update-baseline to create it",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    scale = calibration / baseline["calibration_seconds"]
+    print(
+        f"machine speed vs baseline machine: {1 / scale:.2f}x "
+        f"(calibration {calibration:.4f}s vs {baseline['calibration_seconds']:.4f}s)"
+    )
+
+    factor = args.inject_slowdown or 1.0
+    if factor != 1.0:
+        print(f"!! self-test: injecting a {factor}x slowdown into the medians")
+
+    regressions = []
+    checked = 0
+    for name, row in measured.items():
+        base_row = baseline["scenarios"].get(name, {})
+        for executor, median in row.items():
+            base = base_row.get(executor)
+            if base is None:
+                print(f"   {name} [{executor}]: no baseline entry, skipped")
+                continue
+            checked += 1
+            median *= factor
+            expected = base * scale
+            allowed = expected * args.threshold
+            status = "ok"
+            if median > allowed and (median - expected) > args.min_abs_slack:
+                status = "REGRESSION"
+                regressions.append((name, executor, median, expected, allowed))
+            print(
+                f"   {name} [{executor}]: {median:.4f}s vs expected "
+                f"{expected:.4f}s (allowed {allowed:.4f}s) {status}"
+            )
+
+    if regressions:
+        print(
+            f"\nbench gate FAILED: {len(regressions)} regression(s) beyond "
+            f"{round((args.threshold - 1) * 100)}% of the scaled baseline:",
+            file=sys.stderr,
+        )
+        for name, executor, median, expected, allowed in regressions:
+            print(
+                f"  {name} [{executor}]: {median:.4f}s > {allowed:.4f}s "
+                f"({median / expected:.2f}x the scaled baseline)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nbench gate OK: {checked} (scenario, executor) pairs within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Files whose snippets and links are checked.  SNIPPETS.md / PAPERS.md are
 #: research-note scratch files and deliberately excluded.
-DEFAULT_FILES = ("README.md", "ARCHITECTURE.md", "docs/LANGUAGE.md")
+DEFAULT_FILES = ("README.md", "ARCHITECTURE.md", "docs/LANGUAGE.md", "docs/CI.md")
 
 SKIP_MARKER = "docs-check: skip"
 
@@ -84,7 +84,6 @@ def iter_snippets(path: Path) -> Iterator[Snippet]:
 
 def check_snippets(paths: Sequence[Path]) -> List[str]:
     """Execute every runnable python snippet; returns failure messages."""
-    import contextlib
     import os
 
     failures: List[str] = []

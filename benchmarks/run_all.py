@@ -6,9 +6,17 @@ benchmark family of the paper's evaluation (Section 6) at laptop scale on
 the selected chase executors — ``naive`` (interpreted), ``compiled`` (the
 slot-machine default), ``streaming`` (the pull-based pipeline of PR 2) and
 ``parallel`` (the sharded worker-pool chase of PR 4) — in the same
-process, and writes ``BENCH_PR4.json`` with per-scenario wall-clock,
+process, and writes ``BENCH_PR5.json`` with per-scenario wall-clock,
 facts/second and compiled-over-naive speedups, each row tagged with its
 executor name.
+
+Since PR 5 the report carries the **magic-rewrite section**: the
+point-query workloads (companies single-ancestor control, DBpedia
+single-entity PSC, LUBM-style bound queries) are run with
+``reason(query=..., rewrite="none")`` and ``rewrite="magic"`` on the
+compiled, streaming and parallel executors, asserting identical certain
+answers and recording the derived-fact and wall-clock reductions the
+existential-safe magic-set rewriting achieves.
 
 Since PR 4 the report carries the **parallel worker sweep**: the psc, lubm
 and fig8-scaling scenarios are run on the compiled executor and on
@@ -60,13 +68,16 @@ from repro.engine.reasoner import EXECUTORS, VadalogReasoner  # noqa: E402
 from repro.workloads import (  # noqa: E402
     arity_scenario,
     atom_count_scenario,
+    control_point_query_scenario,
     control_scenario,
     dbsize_scenario,
     doctors_scenario,
     ibench_scenario,
     iwarded_scenario,
+    lubm_point_query_scenario,
     lubm_scenario,
     majority_control_scenario,
+    psc_point_query_scenario,
     psc_scenario,
     rule_count_scenario,
     strong_links_scenario,
@@ -164,6 +175,31 @@ SPEEDUP_TARGET = 2.0
 PARALLEL_SPEEDUP_TARGET = 1.5
 SWEEP_WORKER_COUNTS = (1, 2, 4)
 SWEEP_SCENARIOS = ("bench_fig5c_psc", "bench_fig5i_lubm", "bench_fig8_scaling")
+
+#: Point-query workloads of the magic-rewrite section: name -> (full-scale
+#: factory, smoke factory).  Each scenario carries its bound query atom.
+MAGIC_SCENARIOS = {
+    "magic_control_point": (
+        lambda: control_point_query_scenario(120),
+        lambda: control_point_query_scenario(30),
+    ),
+    "magic_psc_point": (
+        lambda: psc_point_query_scenario(200, 150),
+        lambda: psc_point_query_scenario(30, 20),
+    ),
+    "magic_lubm_member": (
+        lambda: lubm_point_query_scenario(2500, kind="member"),
+        lambda: lubm_point_query_scenario(100, kind="member"),
+    ),
+    "magic_lubm_takes": (
+        lambda: lubm_point_query_scenario(2500, kind="takes"),
+        lambda: lubm_point_query_scenario(100, kind="takes"),
+    ),
+}
+#: Acceptance target: the magic run must derive at least this many times
+#: fewer facts than the unrewritten run on ≥ 2 point-query workloads.
+MAGIC_FACT_REDUCTION_TARGET = 2.0
+MAGIC_EXECUTORS = ("compiled", "streaming", "parallel")
 
 
 def run_one(
@@ -369,6 +405,101 @@ def run_backend_comparison(smoke: bool) -> dict:
     return section
 
 
+def run_magic_comparison(smoke: bool, executors) -> dict:
+    """Magic-rewritten vs unrewritten point queries, on every executor.
+
+    Each point-query workload is run twice per executor —
+    ``reason(query=..., rewrite="none")`` (full chase, answers filtered)
+    and ``reason(query=..., rewrite="magic")`` (existential-safe magic-set
+    rewriting) — asserting identical certain answers and recording the
+    wall-clock and derived-fact reductions.  The headline acceptance
+    metric is the compiled executor's derived-fact reduction: ≥
+    ``MAGIC_FACT_REDUCTION_TARGET`` on at least two workloads.
+    """
+    chosen = [e for e in MAGIC_EXECUTORS if e in executors] or ["compiled"]
+    section = {
+        "executors": chosen,
+        "fact_reduction_target": MAGIC_FACT_REDUCTION_TARGET,
+        "scenarios": {},
+    }
+    meets = []
+    for name, (full, smoke_factory) in MAGIC_SCENARIOS.items():
+        factory = smoke_factory if smoke else full
+        print(f"== magic rewrite: {name}", flush=True)
+        row = {"query": factory().query, "executors": {}}
+        for executor in chosen:
+            runs = {}
+            for rewrite in ("none", "magic"):
+                scenario = factory()
+                reasoner = VadalogReasoner(scenario.program.copy(), executor=executor)
+                started = time.perf_counter()
+                result = reasoner.reason(
+                    database=scenario.database,
+                    query=scenario.query,
+                    rewrite=rewrite,
+                )
+                elapsed = time.perf_counter() - started
+                runs[rewrite] = {
+                    "elapsed_seconds": round(elapsed, 4),
+                    "derived_facts": len(result.chase.derived_facts()),
+                    "total_facts": len(result.chase.store),
+                    "answers": len(result.answers),
+                    "result": result,
+                }
+            predicate = row["query"].split("(", 1)[0]
+            identical = (
+                runs["none"]["result"].ground_tuples(predicate)
+                == runs["magic"]["result"].ground_tuples(predicate)
+            )
+            derived_none = runs["none"]["derived_facts"]
+            derived_magic = runs["magic"]["derived_facts"]
+            # max(1, ...) keeps the ratio finite when the magic run needs no
+            # derivations at all (the denominator then undersells the win).
+            fact_reduction = round(derived_none / max(1, derived_magic), 2)
+            speedup = (
+                round(
+                    runs["none"]["elapsed_seconds"] / runs["magic"]["elapsed_seconds"],
+                    2,
+                )
+                if runs["magic"]["elapsed_seconds"] > 0
+                else None
+            )
+            magic_stats = runs["magic"]["result"].magic_rewriting
+            for run in runs.values():
+                run.pop("result")
+            row["executors"][executor] = {
+                "unrewritten": runs["none"],
+                "magic": runs["magic"],
+                "answers_identical": identical,
+                "derived_fact_reduction": fact_reduction,
+                "speedup": speedup,
+                "rewrite": magic_stats.stats() if magic_stats else None,
+            }
+            print(
+                f"   {executor}: none={runs['none']['elapsed_seconds']:.3f}s "
+                f"({derived_none} derived) magic="
+                f"{runs['magic']['elapsed_seconds']:.3f}s ({derived_magic} derived) "
+                f"reduction={fact_reduction}x identical={identical}",
+                flush=True,
+            )
+        compiled_row = row["executors"].get("compiled")
+        if (
+            compiled_row
+            and compiled_row["derived_fact_reduction"] is not None
+            and compiled_row["derived_fact_reduction"] >= MAGIC_FACT_REDUCTION_TARGET
+        ):
+            meets.append(name)
+        section["scenarios"][name] = row
+    section["scenarios_meeting_fact_reduction_target"] = sorted(meets)
+    section["meets_target_on_two_workloads"] = len(meets) >= 2
+    section["answers_identical_everywhere"] = all(
+        run["answers_identical"]
+        for row in section["scenarios"].values()
+        for run in row["executors"].values()
+    )
+    return section
+
+
 def run_first_answer(factory) -> dict:
     """Measure the lazy streaming path: latency + residency at first answer."""
     scenario = factory()
@@ -396,7 +527,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o",
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR4.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR5.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -496,6 +627,9 @@ def main(argv=None) -> int:
     # Parallel worker sweep: compiled vs parallel at 1/2/4 workers.
     sweep_section = run_worker_sweep(args.smoke, executors, args.only)
 
+    # Magic rewriting: point queries, rewritten vs unrewritten, per executor.
+    magic_section = run_magic_comparison(args.smoke, executors)
+
     # Datasource backends: memory vs SQLite equivalence + pushdown evidence.
     backend_section = run_backend_comparison(args.smoke)
     backends_match = all(
@@ -523,11 +657,12 @@ def main(argv=None) -> int:
     )
 
     report = {
-        "pr": 4,
+        "pr": 5,
         "description": (
-            "sharded parallel chase executor (hash-partitioned deltas, "
-            "worker-pool matching, single-writer admission) vs the "
-            "sequential executors, plus the worker-count sweep"
+            "query-driven magic-set rewriting (point queries, rewritten vs "
+            "unrewritten, all executors) on top of the PR-4 comparison "
+            "matrix: sequential/streaming/parallel executors, worker sweep, "
+            "datasource backends"
         ),
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
@@ -541,6 +676,7 @@ def main(argv=None) -> int:
         "streaming_vs_materialization": streaming_wins,
         "streaming_fewer_resident_on_two_recursion_heavy": len(streaming_wins) >= 2,
         "parallel_worker_sweep": sweep_section,
+        "magic_rewrite": magic_section,
         "datasource_backends": backend_section,
         "sqlite_answers_match_memory": backends_match,
         "sqlite_pushdown_rows": pushdown_rows,
@@ -570,6 +706,12 @@ def main(argv=None) -> int:
     print(
         f"sqlite backend answers match memory: {backends_match}; "
         f"pushdown scans fewer rows: {pushdown_demonstrated}"
+    )
+    meets_magic = magic_section["scenarios_meeting_fact_reduction_target"]
+    print(
+        f"magic rewrite at ≥{MAGIC_FACT_REDUCTION_TARGET}x fewer derived facts: "
+        f"{', '.join(meets_magic) if meets_magic else 'none'} "
+        f"(answers identical: {magic_section['answers_identical_everywhere']})"
     )
     return 0
 

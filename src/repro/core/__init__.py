@@ -14,7 +14,15 @@ The sub-modules follow the structure of the paper:
 from .atoms import Atom, Fact, Position, Predicate, atom, fact
 from .chase import ChaseConfig, ChaseEngine, ChaseResult, InconsistencyError, run_chase
 from .conditions import AggregateSpec, Assignment, Comparison
-from .parser import parse_program, parse_rule, parse_fact, VadalogSyntaxError
+from .parser import (
+    parse_program,
+    parse_rule,
+    parse_fact,
+    parse_atom,
+    unparse_program,
+    VadalogSyntaxError,
+)
+from .magic import MagicRewriteResult, rewrite_with_magic
 from .query import AnswerSet, Query, certain_answer, extract_answers, universal_answer
 from .rules import (
     Annotation,
@@ -61,7 +69,11 @@ __all__ = [
     "parse_program",
     "parse_rule",
     "parse_fact",
+    "parse_atom",
+    "unparse_program",
     "VadalogSyntaxError",
+    "MagicRewriteResult",
+    "rewrite_with_magic",
     "AnswerSet",
     "Query",
     "certain_answer",

@@ -439,6 +439,90 @@ def parse_program(text: str) -> Program:
     return _Parser(text).parse_program()
 
 
+def parse_atom(text: str) -> Atom:
+    """Parse a single, possibly non-ground atom, e.g. ``Control("f0", Y)``.
+
+    Used for query atoms (``VadalogReasoner.reason(query=...)``): constant
+    arguments are the bound positions of the query, variables the free
+    ones.  A trailing dot is accepted.
+    """
+    parser = _Parser(text)
+    atom = parser._parse_atom()
+    if parser._peek().kind == "DOT":
+        parser._advance()
+    if parser._peek().kind != "EOF":
+        raise parser._error("unexpected input after the atom")
+    return atom
+
+
+# ---------------------------------------------------------------------------
+# Unparsing (program -> surface syntax).  ``unparse_program(parse_program(t))``
+# re-parses to an equivalent program; the fuzz suite pins the round-trip.
+# ---------------------------------------------------------------------------
+
+
+def unparse_term(term: Term) -> str:
+    """Render a term in the surface syntax (inverse of ``_parse_term``)."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, bool):
+            raise ValueError("booleans have no literal form in the surface syntax")
+        if isinstance(value, str):
+            return repr(value)
+        if isinstance(value, (int, float)):
+            rendered = repr(value)
+            if "e" in rendered or "E" in rendered:
+                raise ValueError(f"exponent floats are not parseable: {value!r}")
+            return rendered
+        raise ValueError(f"constant {value!r} has no literal form")
+    raise ValueError("labelled nulls cannot appear in program text")
+
+
+def unparse_atom(atom: Atom) -> str:
+    """Render an atom (or fact) in the surface syntax."""
+    inner = ", ".join(unparse_term(t) for t in atom.terms)
+    return f"{atom.predicate}({inner})"
+
+
+def unparse_rule(rule: Rule) -> str:
+    """Render a rule in the surface syntax (labels are not part of it)."""
+    parts = [unparse_atom(a) for a in rule.body]
+    parts.extend(str(c) for c in rule.conditions)
+    parts.extend(str(a) for a in rule.assignments)
+    if rule.aggregate is not None:
+        parts.append(str(rule.aggregate))
+    head = ", ".join(unparse_atom(a) for a in rule.head)
+    return f"{head} :- {', '.join(parts)}."
+
+
+def unparse_program(program: Program) -> str:
+    """Render a whole program: annotations, facts, rules, constraints, EGDs."""
+    lines: List[str] = []
+    for name in sorted(program.inputs):
+        lines.append(f'@input("{name}").')
+    for name in sorted(program.outputs):
+        lines.append(f'@output("{name}").')
+    for annotation in program.annotations:
+        if annotation.name in ("input", "output"):
+            continue  # already rendered from the input/output sets
+        lines.append(str(annotation))
+    for fact in program.facts:
+        lines.append(f"{unparse_atom(fact)}.")
+    for rule in program.rules:
+        lines.append(unparse_rule(rule))
+    for constraint in program.constraints:
+        parts = [unparse_atom(a) for a in constraint.body]
+        parts.extend(str(c) for c in constraint.conditions)
+        lines.append(f":- {', '.join(parts)}.")
+    for egd in program.egds:
+        parts = [unparse_atom(a) for a in egd.body]
+        parts.extend(str(c) for c in egd.conditions)
+        lines.append(f"{egd.left.name} = {egd.right.name} :- {', '.join(parts)}.")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def parse_rule(text: str) -> Rule:
     """Parse a single rule (must end with a dot)."""
     program = parse_program(text)

@@ -51,8 +51,14 @@ from ..core.harmful_joins import (
     UnsupportedHarmfulJoin,
     eliminate_harmful_joins,
 )
-from ..core.atoms import Fact
-from ..core.parser import parse_program
+from ..core.atoms import Atom, Fact
+from ..core.magic import (
+    REWRITES,
+    MagicRewriteError,
+    MagicRewriteResult,
+    rewrite_with_magic,
+)
+from ..core.parser import parse_atom, parse_program
 from ..core.query import AnswerSet, Query, extract_answers
 from ..core.rules import Program
 from ..core.terms import Constant
@@ -120,6 +126,10 @@ class ReasoningResult:
     #: per chase round with the per-shard seed-fact and match counts and the
     #: busiest-to-mean imbalance ratio.  Empty on the other executors.
     shard_balance: List[Dict[str, object]] = field(default_factory=list)
+    #: The magic-set rewriting applied to this run (``reason(query=...,
+    #: rewrite="magic")``), including guard/fallback/seed counters; ``None``
+    #: on runs without a query or with ``rewrite="none"``.
+    magic_rewriting: Optional[MagicRewriteResult] = None
     _finalizer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def facts(self, predicate: str) -> Tuple[Fact, ...]:
@@ -177,7 +187,27 @@ class ReasoningResult:
         data["warnings"] = list(self.warnings)
         if self.source_stats:
             data["datasources"] = dict(self.source_stats)
+        if self.magic_rewriting is not None:
+            data.update(self.magic_rewriting.stats())
         return data
+
+
+@dataclass
+class _RunSpec:
+    """Everything one reasoning run needs: program, plans and seed facts.
+
+    Runs without a query reuse the reasoner's compiled state; query runs
+    with ``rewrite="magic"`` carry the magic-rewritten program with its own
+    analysis/plans plus the ``_aux_magic_*`` seed facts.
+    """
+
+    program: Program
+    analysis: ProgramAnalysis
+    join_plans: Dict[int, RuleJoinPlan]
+    outputs: List[str]
+    seeds: List[Fact] = field(default_factory=list)
+    query_atom: Optional[Atom] = None
+    rewriting: Optional[MagicRewriteResult] = None
 
 
 class VadalogReasoner:
@@ -218,6 +248,10 @@ class VadalogReasoner:
         #: page caches persist — a second ``reason()`` on the same reasoner
         #: reads sources from memory, not the backend.
         self._bindings: Optional[BindingSet] = None
+        #: Magic-rewritten run specs, memoized per query atom (a production
+        #: reasoner answers the same point query many times; the rewriting,
+        #: analysis and join plans are reused, only the chase re-runs).
+        self._magic_cache: Dict[Tuple[str, Tuple], _RunSpec] = {}
 
         self.program = self._optimize(self.original_program)
         self.analysis = analyse_program(self.program)
@@ -275,16 +309,35 @@ class VadalogReasoner:
         outputs: Optional[Iterable[str]] = None,
         certain: bool = False,
         strategy: Union[str, TerminationStrategy, None] = None,
+        query: Union[str, Atom, None] = None,
+        rewrite: Optional[str] = None,
     ) -> ReasoningResult:
-        """Run the reasoning task and return answers plus diagnostics."""
+        """Run the reasoning task and return answers plus diagnostics.
+
+        ``query`` asks for a single predicate with some arguments bound to
+        constants (``query='Control("f0", Y)'`` — a string or an
+        :class:`~repro.core.atoms.Atom`); answers are the matching facts of
+        that predicate and ``outputs`` is ignored.  ``rewrite`` selects the
+        query-driven logic optimization: ``"magic"`` (the default with a
+        query) applies the existential-safe magic-set rewriting of
+        :mod:`repro.core.magic` so every executor only derives facts the
+        query can observe; ``"none"`` evaluates the full program and
+        filters.  Both return identical answers — the rewriting only prunes
+        derivations no answer depends on.  Query runs do not write back to
+        ``@output`` bindings (their answer set is intentionally partial).
+        """
         timings: Dict[str, float] = {}
         started = time.perf_counter()
         chosen = self._resolve_strategy(strategy)
-        output_predicates = self._output_predicates(outputs)
+        spec = self._prepare_run(outputs, query, rewrite)
+        timings["rewrite"] = time.perf_counter() - started
+        output_predicates = spec.outputs
         bindings = self._collect_bindings(output_predicates)
 
         if self.executor == "streaming":
-            pipeline = self._build_pipeline(database, bindings, chosen, output_predicates)
+            pipeline = self._build_pipeline(
+                database, bindings, chosen, output_predicates, spec
+            )
             timings["load"] = time.perf_counter() - started
             chase_started = time.perf_counter()
             chase_result = pipeline.run_to_completion()
@@ -293,10 +346,11 @@ class VadalogReasoner:
             pipeline = None
             facts = list(self._database_facts(database))
             facts.extend(load_bound_facts(bindings))
+            facts.extend(spec.seeds)
             timings["load"] = time.perf_counter() - started
 
             registry = WrapperRegistry(chosen)
-            for rule in self.program.rules:
+            for rule in spec.program.rules:
                 registry.wrapper_for(f"rule:{rule.label}")
 
             chase_started = time.perf_counter()
@@ -304,33 +358,36 @@ class VadalogReasoner:
                 from .partition import ParallelChaseEngine
 
                 engine: ChaseEngine = ParallelChaseEngine(
-                    self.program,
+                    spec.program,
                     facts,
                     strategy=chosen,
-                    analysis=self.analysis,
+                    analysis=spec.analysis,
                     config=self.chase_config,
-                    join_plans=self.join_plans,
+                    join_plans=spec.join_plans,
                     parallelism=self.parallelism,
                     backend=self.parallel_backend,
                 )
             else:
                 engine = ChaseEngine(
-                    self.program,
+                    spec.program,
                     facts,
                     strategy=chosen,
-                    analysis=self.analysis,
+                    analysis=spec.analysis,
                     config=self.chase_config,
                     executor=self.executor,
-                    join_plans=self.join_plans,
+                    join_plans=spec.join_plans,
                 )
             chase_result = engine.run()
             timings["chase"] = time.perf_counter() - chase_started
 
         answer_started = time.perf_counter()
-        query = Query(tuple(output_predicates), certain=certain)
-        answers = extract_answers(chase_result, query)
+        query_spec = Query(tuple(output_predicates), certain=certain)
+        answers = extract_answers(chase_result, query_spec)
         answers = apply_post_directives(answers, bindings.post_directives)
-        write_output_bindings(bindings, answers, output_predicates)
+        if spec.query_atom is not None:
+            answers = _filter_answers(answers, spec.query_atom)
+        else:
+            write_output_bindings(bindings, answers, output_predicates)
         timings["answers"] = time.perf_counter() - answer_started
         if chase_result.first_answer_seconds is not None:
             timings["first_answer"] = chase_result.first_answer_seconds
@@ -339,7 +396,7 @@ class VadalogReasoner:
         return ReasoningResult(
             answers=answers,
             chase=chase_result,
-            analysis=self.analysis,
+            analysis=spec.analysis,
             plan=self.plan,
             scheduler=self.scheduler_report,
             harmful_join_rewriting=self.harmful_join_rewriting,
@@ -350,6 +407,7 @@ class VadalogReasoner:
             shard_balance=list(
                 chase_result.extra_stats.get("parallel_shard_balance", ())
             ),
+            magic_rewriting=spec.rewriting,
         )
 
     def stream(
@@ -358,6 +416,8 @@ class VadalogReasoner:
         outputs: Optional[Iterable[str]] = None,
         certain: bool = False,
         strategy: Union[str, TerminationStrategy, None] = None,
+        query: Union[str, Atom, None] = None,
+        rewrite: Optional[str] = None,
     ) -> ReasoningResult:
         """Start a lazy streaming run: nothing is evaluated until pulled.
 
@@ -365,18 +425,28 @@ class VadalogReasoner:
         fact is produced, then stop), ``iter_answers()`` (a lazy answer
         iterator) and ``complete()`` (drain to the fixpoint and populate
         ``answers`` exactly like ``reason()``).  Available on every reasoner
-        regardless of its default ``executor``.
+        regardless of its default ``executor``.  ``query``/``rewrite``
+        behave as in :meth:`reason`; with ``rewrite="magic"`` the pipeline
+        pulls through the rewritten program, so a bound first answer touches
+        only the demanded slice of the data.
         """
         chosen = self._resolve_strategy(strategy)
-        output_predicates = self._output_predicates(outputs)
+        spec = self._prepare_run(outputs, query, rewrite)
+        output_predicates = spec.outputs
         bindings = self._collect_bindings(output_predicates)
-        pipeline = self._build_pipeline(database, bindings, chosen, output_predicates)
+        pipeline = self._build_pipeline(
+            database, bindings, chosen, output_predicates, spec
+        )
 
         def finalize(result: ReasoningResult) -> None:
-            query = Query(tuple(output_predicates), certain=certain)
-            answers = extract_answers(pipeline.result, query)
-            result.answers = apply_post_directives(answers, bindings.post_directives)
-            write_output_bindings(bindings, result.answers, output_predicates)
+            query_spec = Query(tuple(output_predicates), certain=certain)
+            answers = extract_answers(pipeline.result, query_spec)
+            answers = apply_post_directives(answers, bindings.post_directives)
+            if spec.query_atom is not None:
+                answers = _filter_answers(answers, spec.query_atom)
+            else:
+                write_output_bindings(bindings, answers, output_predicates)
+            result.answers = answers
             result.source_stats = bindings.source_stats()
             if pipeline.result.first_answer_seconds is not None:
                 result.timings["first_answer"] = pipeline.result.first_answer_seconds
@@ -385,17 +455,95 @@ class VadalogReasoner:
         return ReasoningResult(
             answers=AnswerSet(),
             chase=pipeline.result,
-            analysis=self.analysis,
+            analysis=spec.analysis,
             plan=self.plan,
             scheduler=self.scheduler_report,
             harmful_join_rewriting=self.harmful_join_rewriting,
             warnings=list(self.warnings),
             timings={},
             pipeline=pipeline,
+            magic_rewriting=spec.rewriting,
             _finalizer=finalize,
         )
 
     # ----------------------------------------------------------------- helpers
+    def _prepare_run(
+        self,
+        outputs: Optional[Iterable[str]],
+        query: Union[str, Atom, None],
+        rewrite: Optional[str],
+    ) -> _RunSpec:
+        """Resolve the program/plans/outputs/seeds of one run.
+
+        Without a query this is the reasoner's own compiled state.  With a
+        query the output is the query's predicate and ``rewrite="magic"``
+        (the default) swaps in the magic-rewritten program: its own
+        wardedness analysis, join plans, round-robin rule order and
+        ``_aux_magic_*`` seed facts.  If the rewriting declines or fails
+        its internal invariants the run falls back to the unrewritten
+        program — answers are identical either way, only the pruning is
+        lost (a warning records the fallback).
+        """
+        if query is None:
+            if rewrite is not None:
+                raise ValueError("rewrite= requires a query= atom")
+            return _RunSpec(
+                program=self.program,
+                analysis=self.analysis,
+                join_plans=self.join_plans,
+                outputs=self._output_predicates(outputs),
+            )
+        query_atom = parse_atom(query) if isinstance(query, str) else query
+        chosen_rewrite = rewrite if rewrite is not None else "magic"
+        if chosen_rewrite not in REWRITES:
+            raise ValueError(
+                f"unknown rewrite {chosen_rewrite!r}; use one of {', '.join(REWRITES)}"
+            )
+        base = _RunSpec(
+            program=self.program,
+            analysis=self.analysis,
+            join_plans=self.join_plans,
+            outputs=[query_atom.predicate],
+            query_atom=query_atom,
+        )
+        if chosen_rewrite == "none":
+            return base
+        cache_key = (query_atom.predicate, query_atom.terms)
+        cached = self._magic_cache.pop(cache_key, None)
+        if cached is not None:
+            self._magic_cache[cache_key] = cached  # refresh LRU recency
+            return cached
+        try:
+            rewriting = rewrite_with_magic(self.program, query_atom, self.analysis)
+        except MagicRewriteError as exc:
+            self.warnings.append(
+                f"magic rewriting failed ({exc}); falling back to the full program"
+            )
+            base.rewriting = None
+            return base
+        base.rewriting = rewriting
+        if rewriting.changed:
+            program = rewriting.program
+            plan = compile_plan(program)
+            report = RoundRobinScheduler(plan, program).schedule()
+            if report.rule_order and len(report.rule_order) == len(program.rules):
+                program.rules = list(report.rule_order)
+            base = _RunSpec(
+                program=program,
+                analysis=analyse_program(program),
+                join_plans=(
+                    compile_join_plans(program) if self.executor != "naive" else {}
+                ),
+                outputs=[query_atom.predicate],
+                seeds=list(rewriting.seeds),
+                query_atom=query_atom,
+                rewriting=rewriting,
+            )
+        if len(self._magic_cache) >= 32:
+            self._magic_cache.pop(next(iter(self._magic_cache)))
+        self._magic_cache[cache_key] = base
+        return base
+
     def _collect_bindings(self, output_predicates: Sequence[str]) -> BindingSet:
         """Resolve ``@bind``/``@mapping`` and attach compiled pushdowns.
 
@@ -437,37 +585,44 @@ class VadalogReasoner:
         bindings: BindingSet,
         strategy: TerminationStrategy,
         output_predicates: Sequence[str],
+        spec: Optional[_RunSpec] = None,
     ) -> PipelineExecutor:
         """Assemble the streaming pipeline for one run.
 
         :class:`Database` inputs and external ``@bind`` sources keep lazy
         record managers (their relations are only read when the backward
-        slice actually pulls them); loose fact lists/mappings and program
-        facts are wrapped in :class:`FactsRecordManager` sources.
+        slice actually pulls them); loose fact lists/mappings, program facts
+        and magic seed facts are wrapped in :class:`FactsRecordManager`
+        sources.  ``spec`` overrides the program/plans for query runs.
         """
+        program = spec.program if spec is not None else self.program
+        analysis = spec.analysis if spec is not None else self.analysis
         managers: Dict[str, RecordManager] = {}
         if isinstance(database, Database):
             managers.update(managers_for_database(database))
             loose: List[Fact] = []
         else:
             loose = list(self._database_facts(database))
-        loose.extend(self.program.facts)
+        loose.extend(program.facts)
+        if spec is not None:
+            loose.extend(spec.seeds)
         for predicate, manager in managers_for_facts(loose).items():
             managers[predicate] = self._merge_managers(managers.get(predicate), manager)
         for predicate, manager in bindings.record_managers.items():
             managers[predicate] = self._merge_managers(managers.get(predicate), manager)
-        if not self.join_plans:
+        join_plans = spec.join_plans if spec is not None else self.join_plans
+        if not join_plans and program is self.program:
             # A reasoner built with executor="naive" has no plans yet; the
             # pipeline needs them, so compile (and cache) on first use.
-            self.join_plans = compile_join_plans(self.program)
+            self.join_plans = join_plans = compile_join_plans(self.program)
         return PipelineExecutor(
-            self.program,
+            program,
             outputs=list(output_predicates),
             input_managers=managers,
             strategy=strategy,
-            analysis=self.analysis,
+            analysis=analysis,
             config=self.chase_config,
-            join_plans=self.join_plans,
+            join_plans=join_plans,
         )
 
     @staticmethod
@@ -528,6 +683,25 @@ class VadalogReasoner:
         return "\n".join(lines)
 
 
+def _filter_answers(answers: AnswerSet, query_atom: Atom) -> AnswerSet:
+    """Restrict an answer set to the facts matching a query atom.
+
+    Constants of the query must coincide positionally; repeated query
+    variables must bind consistently (``Atom.match`` semantics).
+    """
+    filtered = AnswerSet()
+    for predicate, facts in answers.facts_by_predicate.items():
+        if predicate != query_atom.predicate:
+            filtered.facts_by_predicate[predicate] = list(facts)
+            continue
+        filtered.facts_by_predicate[predicate] = [
+            fact
+            for fact in facts
+            if fact.arity == query_atom.arity and query_atom.match(fact) is not None
+        ]
+    return filtered
+
+
 def reason(
     program: Union[Program, str],
     database: DatabaseLike = None,
@@ -537,6 +711,8 @@ def reason(
     executor: str = "compiled",
     parallelism: Optional[int] = None,
     parallel_backend: str = "threads",
+    query: Union[str, Atom, None] = None,
+    rewrite: Optional[str] = None,
 ) -> ReasoningResult:
     """One-call helper: build a :class:`VadalogReasoner` and run it."""
     reasoner = VadalogReasoner(
@@ -546,4 +722,10 @@ def reason(
         parallelism=parallelism,
         parallel_backend=parallel_backend,
     )
-    return reasoner.reason(database=database, outputs=outputs, certain=certain)
+    return reasoner.reason(
+        database=database,
+        outputs=outputs,
+        certain=certain,
+        query=query,
+        rewrite=rewrite,
+    )

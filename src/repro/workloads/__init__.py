@@ -5,6 +5,7 @@ from .iwarded import IWardedConfig, SCENARIO_CONFIGS, generate_iwarded, iwarded_
 from .dbpedia import (
     generate_company_graph,
     psc_scenario,
+    psc_point_query_scenario,
     allpsc_scenario,
     strong_links_scenario,
 )
@@ -12,11 +13,17 @@ from .companies import (
     ScaleFreeConfig,
     generate_ownership_graph,
     control_scenario,
+    control_point_query_scenario,
     majority_control_scenario,
     company_control_program,
 )
 from .ibench import ibench_scenario
-from .chasebench import doctors_scenario, doctors_fd_scenario, lubm_scenario
+from .chasebench import (
+    doctors_scenario,
+    doctors_fd_scenario,
+    lubm_scenario,
+    lubm_point_query_scenario,
+)
 from .scaling import (
     dbsize_scenario,
     rule_count_scenario,
@@ -32,17 +39,20 @@ __all__ = [
     "iwarded_scenario",
     "generate_company_graph",
     "psc_scenario",
+    "psc_point_query_scenario",
     "allpsc_scenario",
     "strong_links_scenario",
     "ScaleFreeConfig",
     "generate_ownership_graph",
     "control_scenario",
+    "control_point_query_scenario",
     "majority_control_scenario",
     "company_control_program",
     "ibench_scenario",
     "doctors_scenario",
     "doctors_fd_scenario",
     "lubm_scenario",
+    "lubm_point_query_scenario",
     "dbsize_scenario",
     "rule_count_scenario",
     "atom_count_scenario",

@@ -178,3 +178,82 @@ def lubm_scenario(n_facts: int = 1000, seed: int = 43) -> Scenario:
         description="Lehigh University Benchmark (LUBM) style ontology reasoning",
         params={"source_facts": n_facts},
     )
+
+
+#: Bound-query templates for :func:`lubm_point_query_scenario`, in the
+#: spirit of the standard LUBM queries (a named individual, free rest).
+LUBM_POINT_QUERIES = {
+    # LUBM Q11/Q12 flavour: every organisation one student is a member of
+    # (exercises the recursive SubOrganizationOf closure under a binding).
+    "member": 'MemberOf("{student}", U)',
+    # LUBM Q9 flavour: the course/department pairs of one student
+    # (a three-way join where the binding cascades through TeacherOf,
+    # Professor and WorksFor demands).
+    "takes": 'TakesCourseAtDept("{student}", C, D)',
+}
+
+
+def _lubm_student_with_answer(database: Database, kind: str) -> str:
+    """Deterministically pick a student whose bound query has answers.
+
+    For ``"member"`` any enrolled student works; for ``"takes"`` the
+    student must take a course taught by a professor (the rule joins
+    ``TakesCourse``, ``TeacherOf`` — which requires ``Professor`` — and
+    ``WorksFor``), so the choice walks the raw relations the same way the
+    rules would.
+    """
+
+    def rows(name):
+        try:
+            return sorted(database.relation(name).tuples)
+        except KeyError:
+            return []
+
+    if kind == "takes":
+        professors = {r[0] for n in ("FullProfessor", "AssociateProfessor", "AssistantProfessor") for r in rows(n)}
+        employed = {r[0] for r in rows("WorksFor")}
+        teacher_of = {course: prof for prof, course in rows("Teaches")}
+        for student, course in rows("TakesCourse"):
+            professor = teacher_of.get(course)
+            if professor in professors and professor in employed:
+                return student
+    enrolled = rows("StudentOf")
+    return enrolled[0][0] if enrolled else "stud0"
+
+
+def lubm_point_query_scenario(
+    n_facts: int = 1000,
+    seed: int = 43,
+    kind: str = "member",
+    student: str = "",
+) -> Scenario:
+    """A LUBM-style bound query over the university instance.
+
+    ``kind`` selects the query template from :data:`LUBM_POINT_QUERIES`;
+    both bind one student individual, mirroring how the standard LUBM
+    queries name an entity and ask for its closure.  The scenario carries
+    the query text so the magic-set rewriting cascades the binding through
+    the ontology rules (``MemberOf`` → ``SubOrganizationOf``, or
+    ``TakesCourseAtDept`` → ``TeacherOf`` → ``Professor``).  When
+    ``student`` is empty a deterministic individual with a non-empty answer
+    is chosen from the generated instance (the first enrolled/taking
+    student in sorted order).
+    """
+    if kind not in LUBM_POINT_QUERIES:
+        raise ValueError(
+            f"kind must be one of {', '.join(sorted(LUBM_POINT_QUERIES))}"
+        )
+    database = lubm_database(n_facts, seed)
+    if not student:
+        student = _lubm_student_with_answer(database, kind)
+    query = LUBM_POINT_QUERIES[kind].format(student=student)
+    predicate = query.split("(", 1)[0]
+    return Scenario(
+        name=f"lubm-point-{kind}",
+        program=parse_program(LUBM_PROGRAM),
+        database=database,
+        outputs=(predicate,),
+        description=f"LUBM-style bound query ({kind}) for one student",
+        params={"source_facts": n_facts, "kind": kind, "student": student},
+        query=query,
+    )

@@ -241,6 +241,44 @@ def control_scenario(
     )
 
 
+def control_point_query_scenario(
+    n_companies: int,
+    company: Optional[str] = None,
+    config: Optional[ScaleFreeConfig] = None,
+) -> Scenario:
+    """Single-ancestor company control: ``Control(c, Y)`` for one company.
+
+    The point-query counterpart of :func:`control_scenario` (QueryReal /
+    QueryRand with a bound first argument): the scenario carries
+    ``query='Control("<c>", Y)'`` so the reasoner's magic-set rewriting can
+    prune the chase to the ownership cone reachable from ``c`` instead of
+    materialising the whole control relation.  ``company`` defaults to the
+    (deterministic) majority owner with the most direct majority stakes —
+    a company whose control cone is deep enough to make the query
+    interesting.
+    """
+    database = generate_ownership_graph(n_companies, config=config)
+    if company is None:
+        stakes: Dict[str, int] = {}
+        for owner, _owned, share in database.relation("Own").tuples:
+            if share > 0.5:
+                stakes[owner] = stakes.get(owner, 0) + 1
+        company = max(sorted(stakes), key=lambda c: stakes[c]) if stakes else "f0"
+    return Scenario(
+        name=f"company-control-point-{n_companies}",
+        program=company_control_program(),
+        database=database,
+        outputs=("Control",),
+        description="Company control of a single source company (point query)",
+        params={
+            "companies": n_companies,
+            "edges": database.size("Own"),
+            "company": company,
+        },
+        query=f'Control("{company}", Y)',
+    )
+
+
 def majority_control_scenario(
     n_companies: int,
     config: Optional[ScaleFreeConfig] = None,

@@ -154,6 +154,40 @@ def psc_scenario(
     )
 
 
+def psc_point_query_scenario(
+    n_companies: int = 200,
+    n_persons: int = 400,
+    seed: int = 11,
+    company: Optional[str] = None,
+) -> Scenario:
+    """Single-entity PSC: the persons with significant control of *one* company.
+
+    The point-query counterpart of :func:`psc_scenario`: the scenario
+    carries ``query='PSC("<c>", P)'``, and the magic-set rewriting walks
+    the ``Control`` chain *backwards* from the queried company (demand rule
+    ``magic(Y) :- magic(X), Control(Y, X)``), so only that company's
+    ancestor cone is ever materialised.  ``company`` defaults to the last
+    generated company — the end of a control chain, i.e. the deepest
+    ancestor cone in the instance.
+    """
+    database = generate_company_graph(n_companies, n_persons, seed=seed)
+    if company is None:
+        company = f"company{n_companies - 1}"
+    return Scenario(
+        name="dbpedia-psc-point",
+        program=parse_program(PSC_PROGRAM),
+        database=database,
+        outputs=("PSC",),
+        description="Persons with significant control over a single company",
+        params={
+            "companies": n_companies,
+            "persons": n_persons,
+            "company": company,
+        },
+        query=f'PSC("{company}", P)',
+    )
+
+
 def allpsc_scenario(
     n_companies: int = 200, n_persons: int = 400, seed: int = 11
 ) -> Scenario:

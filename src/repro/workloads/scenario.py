@@ -24,6 +24,10 @@ class Scenario:
     #: extensional data through external datasources instead of ``database``
     #: (pass it as ``VadalogReasoner(..., base_path=scenario.base_path)``).
     base_path: Optional[str] = None
+    #: Point-query variants carry the bound query atom text (pass it as
+    #: ``reasoner.reason(query=scenario.query, rewrite="magic")``); ``None``
+    #: for whole-program scenarios.
+    query: Optional[str] = None
 
     def facts(self):
         return self.database.facts()

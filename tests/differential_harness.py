@@ -1,0 +1,246 @@
+"""Shared differential-testing machinery for the executor test matrix.
+
+Every executor suite (``test_compiled_executor``, ``test_streaming_differential``,
+``test_parallel_executor``) and the magic-rewrite matrix
+(``test_magic_rewrite``) compares runs over the same **16 scenario
+registry** defined here, with the same three levels of agreement:
+
+* **ground-exact** — null-free facts/answers must be exactly equal (this is
+  the certain-answer semantics the warded strategy preserves regardless of
+  derivation order);
+* **null patterns** — null-carrying facts must produce the same set of
+  patterns (constants in place, labelled nulls as anonymous witnesses);
+* **iso profile** — outside the order-sensitive scenarios, the full
+  multiset of per-fact isomorphism keys (including multiplicities) must
+  match too.
+
+The order-sensitive exemption sets are owned here as well, so the suites
+cannot silently drift apart: ``ORDER_SENSITIVE_NULLS`` for the pull-based
+streaming runtime and ``PARALLEL_ORDER_SENSITIVE_NULLS`` for the sharded
+parallel executor, where snapshot rounds enumerate duplicate joins in a
+different order than the live sequential chase and may therefore retain a
+different *multiset* of homomorphically equivalent null witnesses (usually
+fewer, occasionally one more — the direction is order-dependent).  The
+exact contract — certain facts identical, witness pattern sets identical in
+both directions, full profile equality at one worker — is pinned by
+``test_parallel_executor.TestParallelNullWitnessContract``.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Counter as CounterType
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.atoms import Atom, Fact
+from repro.core.isomorphism import isomorphism_key, pattern_key
+from repro.core.terms import Constant, Variable
+from repro.engine.reasoner import ReasoningResult, VadalogReasoner
+from repro.workloads import (
+    allpsc_scenario,
+    arity_scenario,
+    atom_count_scenario,
+    control_scenario,
+    dbsize_scenario,
+    doctors_fd_scenario,
+    doctors_scenario,
+    ibench_scenario,
+    iwarded_scenario,
+    lubm_scenario,
+    psc_scenario,
+    rule_count_scenario,
+    strong_links_scenario,
+)
+
+#: The 16 scenario factories shared by every executor differential.
+SCENARIOS = {
+    "iwarded-synthA": lambda: iwarded_scenario("synthA", facts_per_predicate=4),
+    "iwarded-synthB": lambda: iwarded_scenario("synthB", facts_per_predicate=4),
+    "iwarded-synthG": lambda: iwarded_scenario("synthG", facts_per_predicate=4),
+    "psc": lambda: psc_scenario(n_companies=25, n_persons=20),
+    "allpsc": lambda: allpsc_scenario(n_companies=20, n_persons=15),
+    "strong-links": lambda: strong_links_scenario(
+        n_companies=20, n_persons=20, threshold=2
+    ),
+    "company-control": lambda: control_scenario(n_companies=40),
+    "ibench-stb": lambda: ibench_scenario("STB-128", source_facts=4),
+    "ibench-ont": lambda: ibench_scenario("ONT-256", source_facts=3),
+    "doctors": lambda: doctors_scenario(60),
+    "doctors-fd": lambda: doctors_fd_scenario(60),
+    "lubm": lambda: lubm_scenario(120),
+    "scaling-dbsize": lambda: dbsize_scenario(8),
+    "scaling-rules": lambda: rule_count_scenario(2, facts_per_predicate=5),
+    "scaling-atoms": lambda: atom_count_scenario(4, facts_per_predicate=5),
+    "scaling-arity": lambda: arity_scenario(5, facts_per_predicate=5),
+}
+
+#: Recursive-existential scenarios where the streaming pipeline's
+#: derivation order may retain different (homomorphically equivalent,
+#: pattern-identical) null witnesses: pattern-level agreement only.
+ORDER_SENSITIVE_NULLS = {
+    "iwarded-synthA",
+    "iwarded-synthB",
+    "scaling-dbsize",
+    "scaling-atoms",
+}
+
+#: The 6 recursive-existential scenarios where the parallel executor's
+#: snapshot rounds legitimately retain *fewer* duplicate null witnesses
+#: than the live sequential chase (CHANGES.md, PR 4).  The iso profile is
+#: pinned as a sub-multiset by ``test_parallel_executor``.
+PARALLEL_ORDER_SENSITIVE_NULLS = ORDER_SENSITIVE_NULLS | {
+    "scaling-arity",
+    "scaling-rules",
+}
+
+
+def scenario_names():
+    """Deterministic iteration order for ``pytest.mark.parametrize``."""
+    return sorted(SCENARIOS)
+
+
+@dataclass
+class AnswerProfile:
+    """Per-predicate summary of one run's answers (ground/iso/patterns)."""
+
+    ground: Dict[str, Set[Tuple]]
+    iso: Dict[str, CounterType]
+    patterns: Dict[str, Set]
+    result: ReasoningResult
+
+
+def _profile_facts(facts) -> Tuple[Set[Fact], CounterType, Set]:
+    ground: Set[Fact] = set()
+    iso: CounterType = Counter()
+    patterns: Set = set()
+    for fact in facts:
+        if fact.has_nulls:
+            iso[isomorphism_key(fact)] += 1
+            patterns.add(pattern_key(fact))
+        else:
+            ground.add(fact)
+    return ground, iso, patterns
+
+
+def answer_profile(
+    name: str,
+    executor: str,
+    query: Optional[Atom] = None,
+    rewrite: Optional[str] = None,
+    **reasoner_kwargs,
+) -> AnswerProfile:
+    """Run one scenario on one executor and profile its *answers*.
+
+    With ``query``/``rewrite`` the run goes through
+    ``reason(query=..., rewrite=...)`` and the profile covers the query
+    predicate only; otherwise the scenario's declared outputs.
+    """
+    scenario = SCENARIOS[name]()
+    reasoner = VadalogReasoner(
+        scenario.program.copy(), executor=executor, **reasoner_kwargs
+    )
+    result = reasoner.reason(
+        database=scenario.database,
+        outputs=None if query is not None else scenario.outputs,
+        query=query,
+        rewrite=rewrite,
+    )
+    predicates = (query.predicate,) if query is not None else scenario.outputs
+    ground, iso, patterns = {}, {}, {}
+    for predicate in predicates:
+        g, i, p = _profile_facts(result.answers.facts(predicate))
+        ground[predicate] = g
+        iso[predicate] = i
+        patterns[predicate] = p
+    return AnswerProfile(ground=ground, iso=iso, patterns=patterns, result=result)
+
+
+def store_profile(name: str, executor: str, **reasoner_kwargs):
+    """Run one scenario and summarise the whole materialised store.
+
+    Returns ``(ground facts, iso-key multiset, pattern-key set)`` over the
+    null-carrying facts — equality of ground+iso means the two runs derived
+    the same facts up to a bijective renaming of labelled nulls per fact.
+    Used by the compiled-vs-naive differential (identically-ordered
+    executors must agree fact-for-fact) and by the parallel null-witness
+    contract (pattern-level agreement over the whole store).
+    """
+    scenario = SCENARIOS[name]()
+    reasoner = VadalogReasoner(
+        scenario.program.copy(), executor=executor, **reasoner_kwargs
+    )
+    result = reasoner.reason(database=scenario.database, outputs=scenario.outputs)
+    ground, iso, patterns = _profile_facts(result.chase.store)
+    return ground, iso, patterns
+
+
+def point_query(name: str, reference: AnswerProfile) -> Atom:
+    """A deterministic bound query atom for one scenario.
+
+    Picks the scenario's first output predicate and binds its first
+    scalar-valued position to the smallest ground answer value, leaving the
+    other positions free — every scenario thus gets a *point-query* shape
+    for the magic-rewrite column of the matrix.  Scenarios without ground
+    answers (or without bindable positions) get the all-free atom, which
+    still exercises the rewrite path (relevance pruning + fallback).
+    """
+    scenario = SCENARIOS[name]()
+    predicate = scenario.outputs[0]
+    sample = None
+    tuples = sorted(
+        (t for t in reference.ground.get(predicate, ())),
+        key=lambda fact: repr(fact),
+    )
+    arity = None
+    bound_position = None
+    for fact in tuples:
+        arity = fact.arity
+        for position, term in enumerate(fact.terms):
+            if isinstance(term, Constant) and isinstance(term.value, (str, int)):
+                sample = term
+                bound_position = position
+                break
+        if sample is not None:
+            break
+    if arity is None:
+        # No ground answers: derive the arity from any answer fact, else
+        # from the program's head atoms.
+        facts = reference.result.answers.facts(predicate)
+        if facts:
+            arity = facts[0].arity
+        else:
+            arity = next(
+                atom.arity
+                for rule in scenario.program.rules
+                for atom in rule.head
+                if atom.predicate == predicate
+            )
+    terms = [
+        sample if position == bound_position else Variable(f"Q{position}")
+        for position in range(arity)
+    ]
+    return Atom(predicate, terms)
+
+
+def assert_profiles_match(
+    name: str,
+    reference: AnswerProfile,
+    candidate: AnswerProfile,
+    check_iso: bool = True,
+    check_patterns: bool = True,
+    label: str = "",
+) -> None:
+    """Assert the three agreement levels between two answer profiles."""
+    suffix = f" [{label}]" if label else ""
+    assert candidate.ground == reference.ground, (
+        f"{name}{suffix}: ground answers differ"
+    )
+    if check_patterns:
+        assert candidate.patterns == reference.patterns, (
+            f"{name}{suffix}: null answer patterns differ"
+        )
+    if check_iso:
+        assert candidate.iso == reference.iso, (
+            f"{name}{suffix}: null isomorphism profiles differ"
+        )
+
+

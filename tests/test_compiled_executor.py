@@ -2,84 +2,26 @@
 
 The compiled slot-machine executor is the default chase evaluation path; the
 interpreted matcher is kept behind ``executor="naive"`` exactly so the two
-can be compared fact-for-fact.  For every workload family in
-``src/repro/workloads`` both executors must derive the same fact set —
-ground facts compared exactly, null-carrying facts up to labelled-null
-isomorphism (the chase only defines nulls up to bijective renaming, and the
-two executors may create them in a different interleaving).
+can be compared fact-for-fact.  For every workload family in the shared
+registry (``tests/differential_harness.py``) both executors must derive the
+same fact set — ground facts compared exactly, null-carrying facts up to
+labelled-null isomorphism (the chase only defines nulls up to bijective
+renaming, and the two executors may create them in a different
+interleaving).
 """
-
-from collections import Counter
 
 import pytest
 
-from repro.core.isomorphism import isomorphism_key
+from differential_harness import scenario_names, store_profile
 from repro.engine.plan import compile_rule_join_plan
 from repro.engine.reasoner import VadalogReasoner
-from repro.workloads import (
-    allpsc_scenario,
-    arity_scenario,
-    atom_count_scenario,
-    control_scenario,
-    dbsize_scenario,
-    doctors_fd_scenario,
-    doctors_scenario,
-    ibench_scenario,
-    iwarded_scenario,
-    lubm_scenario,
-    psc_scenario,
-    rule_count_scenario,
-    strong_links_scenario,
-)
-
-# One representative (small-scale) scenario per workload generator.
-SCENARIOS = {
-    "iwarded-synthA": lambda: iwarded_scenario("synthA", facts_per_predicate=4),
-    "iwarded-synthB": lambda: iwarded_scenario("synthB", facts_per_predicate=4),
-    "iwarded-synthG": lambda: iwarded_scenario("synthG", facts_per_predicate=4),
-    "psc": lambda: psc_scenario(n_companies=25, n_persons=20),
-    "allpsc": lambda: allpsc_scenario(n_companies=20, n_persons=15),
-    "strong-links": lambda: strong_links_scenario(
-        n_companies=20, n_persons=20, threshold=2
-    ),
-    "company-control": lambda: control_scenario(n_companies=40),
-    "ibench-stb": lambda: ibench_scenario("STB-128", source_facts=4),
-    "ibench-ont": lambda: ibench_scenario("ONT-256", source_facts=3),
-    "doctors": lambda: doctors_scenario(60),
-    "doctors-fd": lambda: doctors_fd_scenario(60),
-    "lubm": lambda: lubm_scenario(120),
-    "scaling-dbsize": lambda: dbsize_scenario(8),
-    "scaling-rules": lambda: rule_count_scenario(2, facts_per_predicate=5),
-    "scaling-atoms": lambda: atom_count_scenario(4, facts_per_predicate=5),
-    "scaling-arity": lambda: arity_scenario(5, facts_per_predicate=5),
-}
-
-
-def _fact_profile(scenario_factory, executor):
-    """Run a scenario and summarise the materialised store.
-
-    Returns (set of ground facts, multiset of isomorphism keys of the
-    null-carrying facts) — equality of the pair means the two runs derived
-    the same facts up to a bijective renaming of labelled nulls per fact.
-    """
-    scenario = scenario_factory()
-    reasoner = VadalogReasoner(scenario.program.copy(), executor=executor)
-    result = reasoner.reason(database=scenario.database, outputs=scenario.outputs)
-    ground = set()
-    null_profile = Counter()
-    for fact in result.chase.store:
-        if fact.has_nulls:
-            null_profile[isomorphism_key(fact)] += 1
-        else:
-            ground.add(fact)
-    return ground, null_profile
 
 
 class TestCompiledMatchesNaive:
-    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("name", scenario_names())
     def test_same_fact_set(self, name):
-        ground_naive, nulls_naive = _fact_profile(SCENARIOS[name], "naive")
-        ground_compiled, nulls_compiled = _fact_profile(SCENARIOS[name], "compiled")
+        ground_naive, nulls_naive, _ = store_profile(name, "naive")
+        ground_compiled, nulls_compiled, _ = store_profile(name, "compiled")
         assert ground_compiled == ground_naive, f"{name}: ground facts differ"
         assert nulls_compiled == nulls_naive, (
             f"{name}: null-fact isomorphism profiles differ"

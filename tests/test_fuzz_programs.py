@@ -1,0 +1,233 @@
+"""Randomised differential tests over generated warded programs.
+
+A seeded generator produces small warded Datalog± programs (joins,
+projections, recursion, constants, and existential rules fed from the
+extensional layer so the chase provably terminates) together with random
+databases, and asserts over ~100 deterministic cases:
+
+* **parse → unparse → parse round-trip** — ``unparse_program`` renders a
+  program whose re-parse unparse-renders identically (a fixpoint), with the
+  same rule/fact/output structure;
+* **naive vs compiled** — the two identically-ordered chase executors
+  derive the same store (ground facts exactly, null witnesses up to
+  isomorphism);
+* **magic vs unrewritten** — for a generated point query,
+  ``rewrite="magic"`` returns the same certain answers and null patterns
+  as ``rewrite="none"``.
+
+Every case is derived from a fixed master seed, so a CI failure names a
+case index that reproduces locally bit-for-bit.
+"""
+
+import random
+
+import pytest
+
+from differential_harness import _profile_facts
+from repro.core.atoms import Atom, Position
+from repro.core.isomorphism import pattern_key
+from repro.core.parser import parse_program, unparse_program
+from repro.core.terms import Constant, Variable
+from repro.core.wardedness import analyse_program
+from repro.engine.reasoner import VadalogReasoner
+
+MASTER_SEED = 20260726
+N_CASES = 100
+CONSTANTS = ["a", "b", "c", "d", "e", 1, 2, 3]
+
+
+def _random_database(rng, predicates):
+    """A small random database: 2–6 facts per extensional predicate."""
+    database = {}
+    for name, arity in predicates.items():
+        rows = set()
+        for _ in range(rng.randint(2, 6)):
+            rows.add(tuple(rng.choice(CONSTANTS) for _ in range(arity)))
+        database[name] = sorted(rows, key=repr)
+    return database
+
+
+def _variables(n):
+    return [Variable(f"V{i}") for i in range(n)]
+
+
+def _random_program(rng):
+    """Generate one warded program (text) plus its extensional schema.
+
+    Structure: 2–3 extensional predicates; an optional existential rule fed
+    only from the extensional layer (bounded null depth, so the warded
+    chase terminates regardless of the rest); 2–4 plain Datalog rules
+    (copy/permutation, join, or linear recursion) over everything defined
+    so far, with occasional constants in bodies.
+    """
+    edb = {f"E{i}": rng.randint(1, 3) for i in range(rng.randint(2, 3))}
+    idb = {}
+    rules = []
+
+    def atom_for(name, arity, vars_pool):
+        terms = []
+        for _ in range(arity):
+            if rng.random() < 0.15:
+                terms.append(Constant(rng.choice(CONSTANTS)))
+            else:
+                terms.append(rng.choice(vars_pool))
+        return Atom(name, terms)
+
+    # Optional existential layer (EDB bodies only).
+    if rng.random() < 0.5:
+        source = rng.choice(sorted(edb))
+        arity = edb[source]
+        head_arity = rng.randint(max(1, arity), arity + 1)
+        name = f"X{len(idb)}"
+        body_vars = _variables(arity)
+        head_terms = list(body_vars[: head_arity - 1]) or [body_vars[0]]
+        head_terms.append(Variable("Z"))  # existential witness
+        rules.append((Atom(name, head_terms[:head_arity]), [Atom(source, body_vars)]))
+        idb[name] = head_arity
+
+    # Plain Datalog layer.
+    for index in range(rng.randint(2, 4)):
+        defined = {**edb, **idb}
+        kind = rng.choice(["copy", "join", "recursive"])
+        name = f"P{index}"
+        if kind == "copy":
+            source = rng.choice(sorted(defined))
+            arity = defined[source]
+            body_vars = _variables(arity)
+            head_vars = rng.sample(body_vars, k=rng.randint(1, arity))
+            rules.append((Atom(name, head_vars), [atom_for(source, arity, body_vars)]))
+            idb[name] = len(head_vars)
+        elif kind == "join":
+            left = rng.choice(sorted(defined))
+            right = rng.choice(sorted(defined))
+            lv = _variables(defined[left])
+            rv = _variables(defined[left] + defined[right])[defined[left]:]
+            if lv and rv:
+                rv[0] = lv[-1]  # shared join variable
+            head_pool = list(dict.fromkeys(lv + rv))
+            head_vars = rng.sample(head_pool, k=rng.randint(1, min(3, len(head_pool))))
+            rules.append(
+                (
+                    Atom(name, head_vars),
+                    [Atom(left, lv), atom_for(right, defined[right], rv)],
+                )
+            )
+            idb[name] = len(head_vars)
+        else:
+            binary_edb = [n for n, a in edb.items() if a == 2]
+            if not binary_edb:
+                continue
+            edge = rng.choice(binary_edb)
+            x, y, z = Variable("A"), Variable("B"), Variable("C")
+            rules.append((Atom(name, (x, y)), [Atom(edge, (x, y))]))
+            rules.append((Atom(name, (x, z)), [Atom(name, (x, y)), Atom(edge, (y, z))]))
+            idb[name] = 2
+
+    lines = []
+    for head, body in rules:
+        body_text = ", ".join(
+            f"{a.predicate}({', '.join(_term_text(t) for t in a.terms)})" for a in body
+        )
+        head_text = f"{head.predicate}({', '.join(_term_text(t) for t in head.terms)})"
+        lines.append(f"{head_text} :- {body_text}.")
+    for name in sorted(idb):
+        lines.append(f'@output("{name}").')
+    return "\n".join(lines), edb, idb
+
+
+def _term_text(term):
+    if isinstance(term, Variable):
+        return term.name
+    value = term.value
+    return f'"{value}"' if isinstance(value, str) else str(value)
+
+
+def _generate_case(index):
+    """Deterministically generate warded case ``index`` (retry until warded)."""
+    for attempt in range(50):
+        rng = random.Random(MASTER_SEED + index * 1009 + attempt)
+        text, edb, idb = _random_program(rng)
+        if not idb:
+            continue
+        program = parse_program(text)
+        if not program.rules:
+            continue
+        if not analyse_program(program).is_warded:
+            continue
+        database = _random_database(rng, edb)
+        return text, program, database, edb, idb, rng
+    raise AssertionError(f"case {index}: no warded program within 50 attempts")
+
+
+def _store_profile(program, database, executor):
+    reasoner = VadalogReasoner(program.copy(), executor=executor)
+    result = reasoner.reason(database=database)
+    ground, iso, _patterns = _profile_facts(result.chase.store)
+    return ground, iso, result
+
+
+def _point_query(program, result, idb, rng):
+    """A bound query atom over a derived predicate, from actual answers."""
+    for predicate in sorted(idb):
+        facts = sorted(
+            (f for f in result.chase.store.by_predicate(predicate) if not f.has_nulls),
+            key=repr,
+        )
+        if not facts:
+            continue
+        sample = facts[rng.randrange(len(facts))]
+        position = rng.randrange(sample.arity)
+        terms = [
+            sample.terms[i] if i == position else Variable(f"Q{i}")
+            for i in range(sample.arity)
+        ]
+        return Atom(predicate, terms)
+    return None
+
+
+@pytest.mark.parametrize("index", range(N_CASES))
+def test_fuzz_case(index):
+    text, program, database, edb, idb, rng = _generate_case(index)
+
+    # ---- parse → unparse → parse round-trip ------------------------------
+    rendered = unparse_program(program)
+    reparsed = parse_program(rendered)
+    assert unparse_program(reparsed) == rendered, f"case {index}: unparse not stable"
+    assert len(reparsed.rules) == len(program.rules)
+    assert reparsed.outputs == program.outputs
+    assert [f.terms for f in reparsed.facts] == [f.terms for f in program.facts]
+
+    # ---- naive vs compiled over the full store ---------------------------
+    ground_naive, iso_naive, _ = _store_profile(program, database, "naive")
+    ground_compiled, iso_compiled, result = _store_profile(
+        program, database, "compiled"
+    )
+    assert ground_compiled == ground_naive, f"case {index}: ground facts differ"
+    assert iso_compiled == iso_naive, f"case {index}: null profiles differ"
+
+    # ---- magic vs unrewritten on a generated point query -----------------
+    query = _point_query(program, result, idb, rng)
+    if query is None:
+        return  # nothing derivable to ask about; round-trip still covered
+    reasoner = VadalogReasoner(program.copy())
+    plain = reasoner.reason(database=database, query=query, rewrite="none")
+    magic = reasoner.reason(database=database, query=query, rewrite="magic")
+    predicate = query.predicate
+    assert magic.ground_tuples(predicate) == plain.ground_tuples(predicate), (
+        f"case {index}: certain answers differ under magic for {query!r}"
+    )
+    plain_patterns = {
+        pattern_key(f) for f in plain.answers.facts(predicate) if f.has_nulls
+    }
+    magic_patterns = {
+        pattern_key(f) for f in magic.answers.facts(predicate) if f.has_nulls
+    }
+    assert magic_patterns == plain_patterns, (
+        f"case {index}: null answer patterns differ under magic for {query!r}"
+    )
+    if magic.magic_rewriting is not None and magic.magic_rewriting.changed:
+        # Bound adornments must never touch affected (null-hosting) positions.
+        affected = analyse_program(program).affected
+        for pred, bound in magic.magic_rewriting.adornments.items():
+            for position in bound:
+                assert Position(pred, position) not in affected

@@ -3,7 +3,8 @@
 ``executor="parallel"`` must be answer-identical to ``compiled``: within a
 round every worker matches against a read-only snapshot of the store and a
 single-writer admission stage replays the matches through the standard fire
-paths, so for every workload family and every worker count:
+paths, so for every workload family of the shared registry
+(``tests/differential_harness.py``) and every worker count:
 
 * **ground answers** must be *exactly* equal;
 * **null-carrying answers** must produce the same set of *patterns*
@@ -11,22 +12,28 @@ paths, so for every workload family and every worker count:
   scenario; outside the recursive-existential scenarios the full per-fact
   isomorphism profile (including multiplicities) must match too.
 
-The exempted scenarios are the SynthB/iwarded-derived families where
-recursion feeds existential rules: there Algorithm 1's pruning is
-derivation-order dependent, and the parallel executor's snapshot rounds
-(facts derived in a round become probe-visible only in the next round)
-enumerate strictly fewer duplicate joins than the live sequential chase —
-so it may retain *fewer* redundant, homomorphically equivalent null
-witnesses.  ``test_streaming_differential.py`` documents the same class of
-exemption for the pull-based runtime.
+The exempted scenarios (``PARALLEL_ORDER_SENSITIVE_NULLS``) are the
+families where recursion feeds existential rules: there the parallel
+executor's snapshot rounds (facts derived in a round become probe-visible
+only in the next round) enumerate duplicate joins in a different order than
+the live sequential chase, so Algorithm 1's order-dependent pruning may
+retain a different multiset of redundant, homomorphically equivalent null
+witnesses (in practice usually fewer, occasionally one more).
+``TestParallelNullWitnessContract`` pins the exact divergence contract so a
+silent regression in either direction fails loudly.
 """
-
-from collections import Counter
 
 import pytest
 
+from differential_harness import (
+    PARALLEL_ORDER_SENSITIVE_NULLS,
+    SCENARIOS,
+    answer_profile,
+    assert_profiles_match,
+    scenario_names,
+    store_profile,
+)
 from repro.core.chase import run_chase
-from repro.core.isomorphism import isomorphism_key, pattern_key
 from repro.engine.partition import (
     ParallelChaseEngine,
     partition_facts,
@@ -37,72 +44,8 @@ from repro.engine.plan import compile_rule_join_plan, seed_partition_positions
 from repro.engine.reasoner import VadalogReasoner
 from repro.core.atoms import fact
 from repro.core.terms import Constant, Null
-from repro.workloads import (
-    allpsc_scenario,
-    arity_scenario,
-    atom_count_scenario,
-    control_scenario,
-    dbsize_scenario,
-    doctors_fd_scenario,
-    doctors_scenario,
-    ibench_scenario,
-    iwarded_scenario,
-    lubm_scenario,
-    psc_scenario,
-    rule_count_scenario,
-    strong_links_scenario,
-)
-
-# The same 16 scenario factories as the other executor differentials.
-SCENARIOS = {
-    "iwarded-synthA": lambda: iwarded_scenario("synthA", facts_per_predicate=4),
-    "iwarded-synthB": lambda: iwarded_scenario("synthB", facts_per_predicate=4),
-    "iwarded-synthG": lambda: iwarded_scenario("synthG", facts_per_predicate=4),
-    "psc": lambda: psc_scenario(n_companies=25, n_persons=20),
-    "allpsc": lambda: allpsc_scenario(n_companies=20, n_persons=15),
-    "strong-links": lambda: strong_links_scenario(
-        n_companies=20, n_persons=20, threshold=2
-    ),
-    "company-control": lambda: control_scenario(n_companies=40),
-    "ibench-stb": lambda: ibench_scenario("STB-128", source_facts=4),
-    "ibench-ont": lambda: ibench_scenario("ONT-256", source_facts=3),
-    "doctors": lambda: doctors_scenario(60),
-    "doctors-fd": lambda: doctors_fd_scenario(60),
-    "lubm": lambda: lubm_scenario(120),
-    "scaling-dbsize": lambda: dbsize_scenario(8),
-    "scaling-rules": lambda: rule_count_scenario(2, facts_per_predicate=5),
-    "scaling-atoms": lambda: atom_count_scenario(4, facts_per_predicate=5),
-    "scaling-arity": lambda: arity_scenario(5, facts_per_predicate=5),
-}
-
-#: Recursive-existential scenarios: pattern-level null agreement only (see
-#: the module docstring).
-ORDER_SENSITIVE_NULLS = {
-    "iwarded-synthA",
-    "iwarded-synthB",
-    "scaling-dbsize",
-    "scaling-atoms",
-    "scaling-arity",
-    "scaling-rules",
-}
 
 WORKER_COUNTS = (1, 2, 4)
-
-
-def _answer_profile(scenario_factory, executor, **reasoner_kwargs):
-    scenario = scenario_factory()
-    reasoner = VadalogReasoner(
-        scenario.program.copy(), executor=executor, **reasoner_kwargs
-    )
-    result = reasoner.reason(database=scenario.database, outputs=scenario.outputs)
-    ground, iso, patterns = {}, {}, {}
-    for predicate in scenario.outputs:
-        facts = result.answers.facts(predicate)
-        ground[predicate] = {f for f in facts if not f.has_nulls}
-        with_nulls = [f for f in facts if f.has_nulls]
-        iso[predicate] = Counter(isomorphism_key(f) for f in with_nulls)
-        patterns[predicate] = {pattern_key(f) for f in with_nulls}
-    return ground, iso, patterns, result
 
 
 @pytest.fixture(scope="module")
@@ -112,7 +55,7 @@ def compiled_profiles():
 
     def get(name):
         if name not in cache:
-            cache[name] = _answer_profile(SCENARIOS[name], "compiled")[:3]
+            cache[name] = answer_profile(name, "compiled")
         return cache[name]
 
     return get
@@ -120,20 +63,67 @@ def compiled_profiles():
 
 class TestParallelMatchesCompiled:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("name", scenario_names())
     def test_same_answers(self, name, workers, compiled_profiles):
-        ground_c, iso_c, patterns_c = compiled_profiles(name)
-        ground_p, iso_p, patterns_p, _ = _answer_profile(
-            SCENARIOS[name], "parallel", parallelism=workers
+        reference = compiled_profiles(name)
+        candidate = answer_profile(name, "parallel", parallelism=workers)
+        assert_profiles_match(
+            name,
+            reference,
+            candidate,
+            check_iso=name not in PARALLEL_ORDER_SENSITIVE_NULLS,
+            label=f"w={workers}",
         )
-        assert ground_p == ground_c, f"{name} w={workers}: ground answers differ"
+
+
+class TestParallelNullWitnessContract:
+    """Regression pin for the PR-4 divergence on recursive-existential runs.
+
+    On the 6 exempted scenarios the parallel executor's round-snapshot
+    evaluation retains a different *multiset* of duplicate null witnesses
+    than the sequential chase (measured here: usually fewer in total,
+    occasionally one more — the direction is derivation-order-dependent).
+    This pins the exact contract over the **whole store**, not just the
+    answers, so a silent regression in either direction fails loudly:
+
+    * certain (null-free) facts must be identical at every worker count;
+    * the *pattern set* of null witnesses must be identical in both
+      directions — a novel witness shape, or a lost one, fails;
+    * at one worker the rounds coincide with the sequential chase, so the
+      full isomorphism profile (multiplicities included) must be equal.
+    """
+
+    @pytest.fixture(scope="class")
+    def compiled_store_profiles(self):
+        cache = {}
+
+        def get(name):
+            if name not in cache:
+                cache[name] = store_profile(name, "compiled")
+            return cache[name]
+
+        return get
+
+    @pytest.mark.parametrize("name", sorted(PARALLEL_ORDER_SENSITIVE_NULLS))
+    def test_single_worker_profile_identical(self, name, compiled_store_profiles):
+        ground_c, iso_c, _ = compiled_store_profiles(name)
+        ground_p, iso_p, _ = store_profile(name, "parallel", parallelism=1)
+        assert ground_p == ground_c, f"{name} w=1: ground facts differ"
+        assert iso_p == iso_c, f"{name} w=1: iso profile must be exactly equal"
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    @pytest.mark.parametrize("name", sorted(PARALLEL_ORDER_SENSITIVE_NULLS))
+    def test_multi_worker_witnesses_stay_equivalent(
+        self, name, workers, compiled_store_profiles
+    ):
+        ground_c, _, patterns_c = compiled_store_profiles(name)
+        ground_p, _, patterns_p = store_profile(
+            name, "parallel", parallelism=workers
+        )
+        assert ground_p == ground_c, f"{name} w={workers}: certain facts differ"
         assert patterns_p == patterns_c, (
-            f"{name} w={workers}: null answer patterns differ"
+            f"{name} w={workers}: null witness pattern sets differ"
         )
-        if name not in ORDER_SENSITIVE_NULLS:
-            assert iso_p == iso_c, (
-                f"{name} w={workers}: null isomorphism profiles differ"
-            )
 
 
 class TestDeterminism:

@@ -2,99 +2,35 @@
 
 The streaming executor evaluates the same programs through a completely
 different runtime (demand-driven pulls, per-fact semi-naive seeding, query
-pruning), so for every workload family its answers must agree with the
-materializing chase:
-
-* **ground answers** must be *exactly* equal — this is the certain-answer
-  semantics the warded termination strategy preserves regardless of the
-  derivation order;
-* **null-carrying answers** must produce the same set of *patterns*
-  (constants in place, labelled nulls as anonymous witnesses) on every
-  scenario; on scenarios without recursive existential interaction the full
-  per-fact isomorphism profile (including multiplicities) must match too.
-
-Scenarios where recursion feeds existential rules (the iwarded SynthA/B
-derivatives) are exempt from the strict profile check: Algorithm 1's
-pruning is derivation-order-dependent there, so two correct runs may retain
-different — homomorphically equivalent, pattern-identical — null witnesses.
-The compiled-vs-naive differential (``test_compiled_executor.py``) pins the
-strict profile for identically-ordered executors.
+pruning), so for every workload family of the shared registry
+(``tests/differential_harness.py``) its answers must agree with the
+materializing chase at the three standard levels: ground-exact everywhere,
+null patterns everywhere, full iso profiles outside the order-sensitive
+scenarios (recursion feeding existential rules, where Algorithm 1's pruning
+is derivation-order-dependent — two correct runs may retain different,
+homomorphically equivalent null witnesses).  The compiled-vs-naive
+differential (``test_compiled_executor.py``) pins the strict profile for
+identically-ordered executors.
 """
-
-from collections import Counter
 
 import pytest
 
-from repro.core.isomorphism import isomorphism_key, pattern_key
-from repro.engine.reasoner import VadalogReasoner
-from repro.workloads import (
-    allpsc_scenario,
-    arity_scenario,
-    atom_count_scenario,
-    control_scenario,
-    dbsize_scenario,
-    doctors_fd_scenario,
-    doctors_scenario,
-    ibench_scenario,
-    iwarded_scenario,
-    lubm_scenario,
-    psc_scenario,
-    rule_count_scenario,
-    strong_links_scenario,
+from differential_harness import (
+    ORDER_SENSITIVE_NULLS,
+    answer_profile,
+    assert_profiles_match,
+    scenario_names,
 )
-
-# The same 16 scenario factories as the compiled-vs-naive differential.
-SCENARIOS = {
-    "iwarded-synthA": lambda: iwarded_scenario("synthA", facts_per_predicate=4),
-    "iwarded-synthB": lambda: iwarded_scenario("synthB", facts_per_predicate=4),
-    "iwarded-synthG": lambda: iwarded_scenario("synthG", facts_per_predicate=4),
-    "psc": lambda: psc_scenario(n_companies=25, n_persons=20),
-    "allpsc": lambda: allpsc_scenario(n_companies=20, n_persons=15),
-    "strong-links": lambda: strong_links_scenario(
-        n_companies=20, n_persons=20, threshold=2
-    ),
-    "company-control": lambda: control_scenario(n_companies=40),
-    "ibench-stb": lambda: ibench_scenario("STB-128", source_facts=4),
-    "ibench-ont": lambda: ibench_scenario("ONT-256", source_facts=3),
-    "doctors": lambda: doctors_scenario(60),
-    "doctors-fd": lambda: doctors_fd_scenario(60),
-    "lubm": lambda: lubm_scenario(120),
-    "scaling-dbsize": lambda: dbsize_scenario(8),
-    "scaling-rules": lambda: rule_count_scenario(2, facts_per_predicate=5),
-    "scaling-atoms": lambda: atom_count_scenario(4, facts_per_predicate=5),
-    "scaling-arity": lambda: arity_scenario(5, facts_per_predicate=5),
-}
-
-# Recursive existential scenarios: pattern-level null agreement only (see
-# the module docstring).
-ORDER_SENSITIVE_NULLS = {
-    "iwarded-synthA",
-    "iwarded-synthB",
-    "scaling-dbsize",
-    "scaling-atoms",
-}
-
-
-def _answer_profile(scenario_factory, executor):
-    scenario = scenario_factory()
-    reasoner = VadalogReasoner(scenario.program.copy(), executor=executor)
-    result = reasoner.reason(database=scenario.database, outputs=scenario.outputs)
-    ground, iso, patterns = {}, {}, {}
-    for predicate in scenario.outputs:
-        facts = result.answers.facts(predicate)
-        ground[predicate] = {f for f in facts if not f.has_nulls}
-        with_nulls = [f for f in facts if f.has_nulls]
-        iso[predicate] = Counter(isomorphism_key(f) for f in with_nulls)
-        patterns[predicate] = {pattern_key(f) for f in with_nulls}
-    return ground, iso, patterns
 
 
 class TestStreamingMatchesCompiled:
-    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("name", scenario_names())
     def test_same_answers(self, name):
-        ground_c, iso_c, patterns_c = _answer_profile(SCENARIOS[name], "compiled")
-        ground_s, iso_s, patterns_s = _answer_profile(SCENARIOS[name], "streaming")
-        assert ground_s == ground_c, f"{name}: ground answers differ"
-        assert patterns_s == patterns_c, f"{name}: null answer patterns differ"
-        if name not in ORDER_SENSITIVE_NULLS:
-            assert iso_s == iso_c, f"{name}: null isomorphism profiles differ"
+        reference = answer_profile(name, "compiled")
+        candidate = answer_profile(name, "streaming")
+        assert_profiles_match(
+            name,
+            reference,
+            candidate,
+            check_iso=name not in ORDER_SENSITIVE_NULLS,
+        )

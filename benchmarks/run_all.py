@@ -230,6 +230,7 @@ def run_one(
         "facts_per_second": round(total_facts / elapsed, 1) if elapsed > 0 else None,
         "rounds": result.chase.rounds,
         "chase_steps": result.chase.chase_steps,
+        "peak_resident_facts": result.chase.peak_resident_facts,
         "answers": len(result.answers),
     }
     if executor == "streaming":

@@ -21,10 +21,12 @@ Quick start::
 from .core import (
     AnswerSet,
     Atom,
+    CancellationToken,
     ChaseConfig,
     ChaseEngine,
     ChaseResult,
     Constant,
+    ExecutionBudget,
     Fact,
     InconsistencyError,
     Null,
@@ -53,10 +55,12 @@ __version__ = "1.0.0"
 __all__ = [
     "AnswerSet",
     "Atom",
+    "CancellationToken",
     "ChaseConfig",
     "ChaseEngine",
     "ChaseResult",
     "Constant",
+    "ExecutionBudget",
     "Fact",
     "InconsistencyError",
     "Null",

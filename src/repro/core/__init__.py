@@ -14,6 +14,15 @@ The sub-modules follow the structure of the paper:
 from .atoms import Atom, Fact, Position, Predicate, atom, fact
 from .chase import ChaseConfig, ChaseEngine, ChaseResult, InconsistencyError, run_chase
 from .conditions import AggregateSpec, Assignment, Comparison
+from .limits import (
+    RUN_STATUSES,
+    STATUS_BUDGET,
+    STATUS_CANCELLED,
+    STATUS_COMPLETE,
+    STATUS_DEADLINE,
+    CancellationToken,
+    ExecutionBudget,
+)
 from .parser import (
     parse_program,
     parse_rule,
@@ -66,6 +75,13 @@ __all__ = [
     "AggregateSpec",
     "Assignment",
     "Comparison",
+    "RUN_STATUSES",
+    "STATUS_BUDGET",
+    "STATUS_CANCELLED",
+    "STATUS_COMPLETE",
+    "STATUS_DEADLINE",
+    "CancellationToken",
+    "ExecutionBudget",
     "parse_program",
     "parse_rule",
     "parse_fact",

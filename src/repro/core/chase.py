@@ -25,10 +25,18 @@ from .conditions import AggregateSpec
 from .expressions import ExpressionError
 from .fact_store import FactStore
 from .forests import ChaseNode, derived_node, input_node
+from .limits import (
+    STATUS_COMPLETE,
+    CancellationToken,
+    ExecutionBudget,
+    ExecutionGovernor,
+    ExecutionStopped,
+)
 from .rules import DOM_PREDICATE, Program, Rule
 from .terms import Constant, Null, NullFactory, Term, Variable
 from .termination import TerminationStrategy, WardedTerminationStrategy
 from .wardedness import ProgramAnalysis, RuleAnalysis, RuleKind, analyse_program
+from ..testing.faults import fault_point
 
 
 class InconsistencyError(Exception):
@@ -62,6 +70,13 @@ class ChaseConfig:
     fail_on_violation: bool = False
     check_constraints: bool = True
     apply_egds: bool = True
+    #: Resource budget for the run.  Unlike ``max_rounds``/``max_facts``
+    #: (hard safety limits that *raise* :class:`ChaseLimitError`), exhausting
+    #: the budget ends the run gracefully with a structured non-``complete``
+    #: status and the sound partial materialisation derived so far.
+    budget: Optional[ExecutionBudget] = None
+    #: Cooperative cancellation token checked at governed checkpoints.
+    cancel: Optional[CancellationToken] = None
 
 
 @dataclass
@@ -88,6 +103,16 @@ class ChaseResult:
     #: Extra counters attached by non-chase executors (e.g. the streaming
     #: pipeline's pull/buffer statistics), merged into :meth:`stats`.
     extra_stats: Dict[str, object] = field(default_factory=dict)
+    #: Structured run outcome: ``"complete"``, ``"deadline_exceeded"``,
+    #: ``"budget_exceeded"`` or ``"cancelled"``.  Non-complete runs carry the
+    #: sound partial materialisation derived before the stop.
+    status: str = STATUS_COMPLETE
+    #: Human-readable explanation of a non-complete status.
+    stop_reason: Optional[str] = None
+    #: High-water mark of resident facts (extensional + derived) in the store.
+    peak_resident_facts: int = 0
+    #: Degradation/early-stop notices (worker recoveries, budget stops).
+    warnings: List[str] = field(default_factory=list)
 
     _derived_cache: Optional[Tuple[Fact, ...]] = field(default=None, repr=False, compare=False)
     _derived_seen: int = field(default=-1, repr=False, compare=False)
@@ -122,7 +147,11 @@ class ChaseResult:
             "elapsed_seconds": self.elapsed_seconds,
             "violations": len(self.violations),
             "strategy": self.strategy.name,
+            "status": self.status,
+            "peak_resident_facts": self.peak_resident_facts,
         }
+        if self.stop_reason is not None:
+            data["stop_reason"] = self.stop_reason
         if self.executor:
             data["executor"] = self.executor
         if self.first_answer_seconds is not None:
@@ -167,6 +196,10 @@ class ChaseEngine:
         self.null_factory = null_factory or NullFactory()
         self.config = config or ChaseConfig()
         self.executor = executor
+        #: Per-run budget/cancellation monitor; ``None`` outside ``run()`` and
+        #: for ungoverned runs, so callers of :meth:`fire_binding` (the
+        #: streaming pipeline) pay nothing.
+        self._governor: Optional[ExecutionGovernor] = None
         self.aggregates = AggregateRegistry()
         self._database_facts = list(database) + list(program.facts)
         self._rule_analyses: Dict[int, RuleAnalysis] = {
@@ -236,18 +269,46 @@ class ChaseEngine:
             executor=self.executor,
         )
 
+        governor = ExecutionGovernor.for_config(self.config)
+        self._governor = governor
+        result.peak_resident_facts = len(store)
+
         round_index = 0
         delta: List[ChaseNode] = list(nodes)
-        while delta:
-            round_index += 1
-            if self.config.max_rounds is not None and round_index > self.config.max_rounds:
-                raise ChaseLimitError(
-                    f"chase exceeded the configured maximum of {self.config.max_rounds} rounds"
-                )
-            delta = self._evaluate_round(store, node_of, delta, round_index, result)
+        try:
+            while delta:
+                if governor is not None:
+                    stop = governor.round_status(
+                        round_index, len(store), result.chase_steps
+                    )
+                    if stop is not None:
+                        result.status, result.stop_reason = stop
+                        break
+                round_index += 1
+                if self.config.max_rounds is not None and round_index > self.config.max_rounds:
+                    raise ChaseLimitError(
+                        f"chase exceeded the configured maximum of {self.config.max_rounds} rounds"
+                    )
+                delta = self._evaluate_round(store, node_of, delta, round_index, result)
+                if len(store) > result.peak_resident_facts:
+                    result.peak_resident_facts = len(store)
+        except ExecutionStopped as stop:
+            # An inner-loop tick (deadline/cancellation) unwound the round;
+            # everything admitted so far is already committed and sound.
+            result.status, result.stop_reason = stop.status, stop.detail
+        finally:
+            self._governor = None
         result.rounds = round_index
+        if len(store) > result.peak_resident_facts:
+            result.peak_resident_facts = len(store)
 
-        self.check_violations(result)
+        if result.status == STATUS_COMPLETE:
+            self.check_violations(result)
+        else:
+            result.warnings.append(
+                f"chase stopped early ({result.status}): {result.stop_reason}; "
+                "the materialisation is a sound subset of the complete result"
+            )
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
@@ -298,6 +359,7 @@ class ChaseEngine:
         round_index: int,
         result: ChaseResult,
     ) -> List[ChaseNode]:
+        fault_point("chase.rule", rule=rule.label or "rule", round=round_index)
         executor = self._compiled.get(id(rule))
         if executor is not None:
             return self._apply_rule_compiled(
@@ -306,10 +368,14 @@ class ChaseEngine:
         analysis = self._rule_analyses[id(rule)]
         produced: List[ChaseNode] = []
         body = rule.relational_body
+        governor = self._governor
+        tick = governor.tick if governor is not None else None
         for seed_index in range(len(body)):
             for binding, used_facts in self._matches(
                 rule, body, seed_index, store, delta_by_predicate, round_index
             ):
+                if tick is not None:
+                    tick()
                 produced.extend(
                     self._fire(
                         rule,
@@ -344,9 +410,13 @@ class ChaseEngine:
         analysis = self._rule_analyses[id(rule)]
         plan = executor.plan
         produced: List[ChaseNode] = []
+        governor = self._governor
+        tick = governor.tick if governor is not None else None
         if plan.simple_fire:
             fire = self._fire_compiled
             for slots, used_facts in executor.matches(store, round_index):
+                if tick is not None:
+                    tick()
                 fire(
                     rule, analysis, plan, slots, used_facts,
                     store, node_of, round_index, result, produced,
@@ -354,6 +424,8 @@ class ChaseEngine:
             return produced
         residual = plan.residual_conditions
         for binding, used_facts in executor.bindings(store, round_index):
+            if tick is not None:
+                tick()
             if residual and not all(c.holds(binding) for c in residual):
                 continue
             if not self._dom_guards_hold(rule, binding, store):
@@ -826,6 +898,11 @@ def run_chase(
     (:class:`repro.engine.partition.ParallelChaseEngine`); ``parallelism``
     and ``parallel_backend`` are only meaningful there.
     """
+    if executor not in ("compiled", "naive", "parallel"):
+        raise ValueError(
+            f"unknown executor {executor!r}; run_chase supports 'compiled', "
+            "'naive' and 'parallel' (use VadalogReasoner/reason() for 'streaming')"
+        )
     if executor == "parallel":
         # Imported lazily: the engine package imports this module.
         from ..engine.partition import ParallelChaseEngine

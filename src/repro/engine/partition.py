@@ -43,17 +43,24 @@ import itertools
 import multiprocessing
 import os
 import zlib
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Fact
 from ..core.chase import ChaseConfig, ChaseEngine, ChaseLimitError, ChaseResult
 from ..core.fact_store import FactStore
 from ..core.forests import ChaseNode
+from ..core.limits import ExecutionStopped
 from ..core.rules import Program, Rule
 from ..core.terms import Constant, Null, NullFactory, Term
 from ..core.termination import TerminationStrategy
 from ..core.wardedness import ProgramAnalysis
+from ..testing.faults import fault_point
 from .joins import CompiledRuleExecutor
 from .plan import seed_partition_positions
 
@@ -184,6 +191,7 @@ def _match_entries(
     encode: bool,
 ) -> List[List[Tuple]]:
     """Match every spec's shard against the snapshot; one result list per spec."""
+    fault_point("parallel.worker", shard=shard, round=round_index)
     results: List[List[Tuple]] = []
     for plan, seed_shards in entries:
         # A fresh executor per (worker, rule): the schedule is derived from
@@ -230,6 +238,7 @@ class ParallelChaseEngine(ChaseEngine):
         join_plans: Optional[Dict[int, object]] = None,
         parallelism: Optional[int] = None,
         backend: str = "threads",
+        worker_timeout: Optional[float] = None,
     ) -> None:
         if backend not in PARALLEL_BACKENDS:
             raise ValueError(
@@ -255,8 +264,17 @@ class ParallelChaseEngine(ChaseEngine):
         self.executor = "parallel"
         self.parallelism = parallelism
         self.backend = backend
+        #: Seconds to wait for one shard's match result before treating the
+        #: worker as hung and triggering recovery; ``None`` waits forever.
+        self.worker_timeout = worker_timeout
         self.shard_stats: List[Dict[str, object]] = []
+        #: Per-run record of worker failures and how they were handled
+        #: (``retry`` then ``sequential`` degradation), surfaced through
+        #: ``extra_stats["parallel_recovery"]`` and ``ChaseResult.warnings``.
+        self.recovery_log: List[Dict[str, object]] = []
+        self._pending_warnings: List[str] = []
         self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._had_worker_timeout = False
         # Aggregate rules are enumeration-order sensitive (stateful
         # monotonic evaluators) and stay on the driver; everything else is
         # sharded.  Per parallel rule, precompute the partition key of each
@@ -292,12 +310,16 @@ class ParallelChaseEngine(ChaseEngine):
 
     def _shutdown_pool(self) -> None:
         if self._thread_pool is not None:
-            self._thread_pool.shutdown(wait=True)
+            # A thread that timed out may still be running its match; don't
+            # block shutdown on it (threads cannot be killed cooperatively).
+            self._thread_pool.shutdown(wait=not self._had_worker_timeout)
             self._thread_pool = None
 
     # -------------------------------------------------------------------- run
     def run(self) -> ChaseResult:
         self.shard_stats = []
+        self.recovery_log = []
+        self._pending_warnings = []
         try:
             result = super().run()
         finally:
@@ -305,7 +327,28 @@ class ParallelChaseEngine(ChaseEngine):
         result.extra_stats["parallel_workers"] = self.parallelism
         result.extra_stats["parallel_backend"] = self.backend
         result.extra_stats["parallel_shard_balance"] = list(self.shard_stats)
+        if self.recovery_log:
+            result.extra_stats["parallel_recovery"] = list(self.recovery_log)
         return result
+
+    def _record_recovery(self, round_index: int, shard: int, exc: BaseException, action: str) -> None:
+        self.recovery_log.append(
+            {
+                "round": round_index,
+                "shard": shard,
+                "action": action,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        )
+        what = (
+            "retrying the shard"
+            if action == "retry"
+            else "degrading the shard to sequential execution on the driver"
+        )
+        self._pending_warnings.append(
+            f"parallel worker for shard {shard} in round {round_index} failed "
+            f"with {type(exc).__name__}: {exc}; {what}"
+        )
 
     # ------------------------------------------------------------- round loop
     def _evaluate_round(
@@ -338,6 +381,9 @@ class ParallelChaseEngine(ChaseEngine):
         # Stage 2: match every (rule, shard) on the worker pool against a
         # read-only snapshot of the store.
         per_shard = self._match_phase(store, specs, round_index, n_shards)
+        if self._pending_warnings:
+            result.warnings.extend(self._pending_warnings)
+            self._pending_warnings.clear()
 
         # Stage 3: single-writer admission, in deterministic (rule, shard)
         # order, staging derived facts in a write batch.  Aggregate rules
@@ -346,23 +392,30 @@ class ParallelChaseEngine(ChaseEngine):
         new_nodes: List[ChaseNode] = []
         match_counts = [0] * n_shards
         spec_index = 0
-        for rule in self.program.rules:
-            if rule.aggregate is not None:
-                # Make staged facts visible to the live matcher first.
-                batch.apply()
-                produced = self._apply_rule(rule, store, node_of, {}, round_index, result)
-            else:
-                rule_matches = [per_shard[shard][spec_index] for shard in range(n_shards)]
-                spec_index += 1
-                produced = self._admit_rule(
-                    rule, rule_matches, store, batch, node_of, round_index, result,
-                    match_counts,
-                )
-            new_nodes.extend(produced)
-            if self.config.max_facts is not None and len(batch) > self.config.max_facts:
-                raise ChaseLimitError(
-                    f"chase exceeded the configured maximum of {self.config.max_facts} facts"
-                )
+        try:
+            for rule in self.program.rules:
+                if rule.aggregate is not None:
+                    # Make staged facts visible to the live matcher first.
+                    batch.apply()
+                    produced = self._apply_rule(rule, store, node_of, {}, round_index, result)
+                else:
+                    rule_matches = [per_shard[shard][spec_index] for shard in range(n_shards)]
+                    spec_index += 1
+                    produced = self._admit_rule(
+                        rule, rule_matches, store, batch, node_of, round_index, result,
+                        match_counts,
+                    )
+                new_nodes.extend(produced)
+                if self.config.max_facts is not None and len(batch) > self.config.max_facts:
+                    raise ChaseLimitError(
+                        f"chase exceeded the configured maximum of {self.config.max_facts} facts"
+                    )
+        except ExecutionStopped:
+            # Commit what was admitted before the stop: result.nodes and
+            # node_of already reference the staged facts, so the store must
+            # contain them for the partial result to be consistent.
+            batch.apply()
+            raise
         batch.apply()
 
         seed_total = sum(partitioner.seed_counts)
@@ -394,7 +447,15 @@ class ParallelChaseEngine(ChaseEngine):
             return [[] for _ in range(n_shards)]
         snapshot = store.snapshot()
         if n_shards == 1:
-            return [_match_entries(entries, snapshot, round_index, 0, encode=False)]
+            try:
+                return [_match_entries(entries, snapshot, round_index, 0, encode=False)]
+            except (ExecutionStopped, ChaseLimitError):
+                raise
+            except Exception as exc:
+                # Same one-retry discipline as pooled shards; a second
+                # failure on the driver is a genuine error and propagates.
+                self._record_recovery(round_index, 0, exc, "retry")
+                return [_match_entries(entries, snapshot, round_index, 0, encode=False)]
         if self.backend == "fork":
             return self._match_phase_fork(entries, snapshot, round_index, n_shards)
         pool = self._ensure_thread_pool()
@@ -402,7 +463,39 @@ class ParallelChaseEngine(ChaseEngine):
             pool.submit(_match_entries, entries, snapshot, round_index, shard, False)
             for shard in range(n_shards)
         ]
-        return [future.result() for future in futures]
+        results: List[List[List[Tuple]]] = []
+        for shard, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=self.worker_timeout))
+            except (ExecutionStopped, ChaseLimitError):
+                raise
+            except Exception as exc:
+                if isinstance(exc, (TimeoutError, FuturesTimeoutError)):
+                    self._had_worker_timeout = True
+                results.append(
+                    self._recover_thread_shard(
+                        pool, entries, snapshot, round_index, shard, exc
+                    )
+                )
+        return results
+
+    def _recover_thread_shard(
+        self, pool, entries, reader, round_index: int, shard: int, exc: Exception
+    ) -> List[List[Tuple]]:
+        """Retry a failed/hung thread shard once, then degrade to the driver."""
+        self._record_recovery(round_index, shard, exc, "retry")
+        try:
+            future = pool.submit(_match_entries, entries, reader, round_index, shard, False)
+            return future.result(timeout=self.worker_timeout)
+        except (ExecutionStopped, ChaseLimitError):
+            raise
+        except Exception as retry_exc:
+            if isinstance(retry_exc, (TimeoutError, FuturesTimeoutError)):
+                self._had_worker_timeout = True
+            self._record_recovery(round_index, shard, retry_exc, "sequential")
+            # Last resort: run the shard on the driver.  A failure here is a
+            # genuine error (same code, same inputs) and propagates.
+            return _match_entries(entries, reader, round_index, shard, encode=False)
 
     def _match_phase_fork(
         self, entries, snapshot, round_index: int, n_shards: int
@@ -412,18 +505,84 @@ class ParallelChaseEngine(ChaseEngine):
         Children inherit the snapshot (and everything reachable from it)
         copy-on-write at pool start, so no program state is pickled out;
         results come back as tuples of store fact indexes and are resolved
-        against the parent's facts in :meth:`_admit_rule`.
+        against the parent's facts in :meth:`_admit_rule`.  The pool is torn
+        down on *every* exit path — including KeyboardInterrupt and crashed
+        workers — so no child process is ever orphaned.
         """
         context = multiprocessing.get_context("fork")
         token = next(_FORK_TOKENS)
         _FORK_STATE[token] = (entries, snapshot, round_index)
+        pool = ProcessPoolExecutor(max_workers=n_shards, mp_context=context)
+        clean_exit = False
         try:
-            with ProcessPoolExecutor(max_workers=n_shards, mp_context=context) as pool:
-                return list(
-                    pool.map(_fork_match_shard, [(token, s) for s in range(n_shards)])
-                )
+            futures = [
+                pool.submit(_fork_match_shard, (token, shard))
+                for shard in range(n_shards)
+            ]
+            results: List[List[List[Tuple]]] = []
+            for shard, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=self.worker_timeout))
+                except (ExecutionStopped, ChaseLimitError):
+                    raise
+                except Exception as exc:
+                    results.append(
+                        self._recover_fork_shard(
+                            pool, token, entries, snapshot, round_index, shard, exc
+                        )
+                    )
+            clean_exit = True
+            return results
         finally:
-            del _FORK_STATE[token]
+            self._shutdown_fork_pool(pool, force=not clean_exit)
+            _FORK_STATE.pop(token, None)
+
+    def _recover_fork_shard(
+        self, pool, token: int, entries, reader, round_index: int, shard: int, exc: Exception
+    ) -> List[List[Tuple]]:
+        """Retry a crashed fork shard once, then degrade to the driver.
+
+        Driver-side degradation keeps ``encode=True`` (the parent resolves
+        ``index_of_row`` against its own snapshot), so the admission stage's
+        fact-index decoding stays uniform across recovered and healthy shards.
+        """
+        self._record_recovery(round_index, shard, exc, "retry")
+        if not isinstance(exc, BrokenExecutor):
+            try:
+                return pool.submit(_fork_match_shard, (token, shard)).result(
+                    timeout=self.worker_timeout
+                )
+            except (ExecutionStopped, ChaseLimitError):
+                raise
+            except Exception as retry_exc:
+                exc = retry_exc
+        self._record_recovery(round_index, shard, exc, "sequential")
+        return _match_entries(entries, reader, round_index, shard, encode=True)
+
+    @staticmethod
+    def _shutdown_fork_pool(pool: ProcessPoolExecutor, force: bool) -> None:
+        """Shut a per-round fork pool down without leaving orphaned children.
+
+        The clean path is an ordinary blocking shutdown.  The forced path
+        (exception/KeyboardInterrupt unwinding the round) cancels pending
+        work, terminates any child still alive and reaps it, escalating to
+        SIGKILL if a child ignores SIGTERM.
+        """
+        if not force:
+            pool.shutdown(wait=True)
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in processes:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5.0)
 
     # -------------------------------------------------------------- admission
     def _admit_rule(
@@ -448,9 +607,13 @@ class ParallelChaseEngine(ChaseEngine):
         simple = plan.simple_fire
         residual = plan.residual_conditions
         variables = plan.variables
+        governor = self._governor
+        tick = governor.tick if governor is not None else None
         for shard, matches in enumerate(rule_matches):
             match_counts[shard] += len(matches)
             for used in matches:
+                if tick is not None:
+                    tick()
                 if decode:
                     used_facts = [fact_at(index) for index in used]
                 else:

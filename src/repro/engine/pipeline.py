@@ -54,6 +54,12 @@ from ..core.atoms import Fact
 from ..core.chase import ChaseConfig, ChaseEngine, ChaseLimitError, ChaseResult
 from ..core.fact_store import FactStore
 from ..core.forests import ChaseNode, input_node
+from ..core.limits import (
+    STATUS_COMPLETE,
+    ExecutionGovernor,
+    ExecutionStopped,
+)
+from ..testing.faults import fault_point
 from ..core.rules import DOM_PREDICATE, Program, Rule
 from ..core.termination import TerminationStrategy
 from ..core.wardedness import ProgramAnalysis
@@ -133,11 +139,24 @@ class _Context:
         self.sweep = 0
         self.started_at: Optional[float] = None
         self.first_answer_fact: Optional[Fact] = None
+        #: Per-run budget/cancellation monitor (set once driving starts).
+        self.governor: Optional[ExecutionGovernor] = None
 
     # -- fact admission --------------------------------------------------------
     def register(self, fact: Fact) -> None:
         self.seq_of[fact] = len(self.seq_of)
         self.progress += 1
+        governor = self.governor
+        if governor is not None:
+            governor.tick()
+            if governor.has_fact_limits:
+                # A streaming sweep can admit many facts before the next
+                # boundary, so the fact-count axes are enforced here too.
+                stop = governor.admission_status(
+                    len(self.store), self.result.chase_steps
+                )
+                if stop is not None:
+                    raise ExecutionStopped(*stop)
         resident = self.buffers.resident_items()
         if resident > self.stats.peak_resident_buffer_items:
             self.stats.peak_resident_buffer_items = resident
@@ -291,6 +310,7 @@ class RuleFilterNode(PipelineNode):
         advanced), so the loop keeps rotating; it gives up only after a full
         round in which every predecessor missed.
         """
+        fault_point("pipeline.rule", rule=self.rule.label or "rule")
         ctx = self.ctx
         emitted_mark = len(self.buffer)
         attempt_start = ctx.progress
@@ -599,17 +619,51 @@ class PipelineExecutor:
     def _ensure_started(self) -> None:
         if self.ctx.started_at is None:
             self.ctx.started_at = time.perf_counter()
+            # The deadline clock starts at the first pull, not at pipeline
+            # construction — streaming runs are lazy by design.
+            governor = ExecutionGovernor.for_config(self.config)
+            self.ctx.governor = governor
+            self.sched.governor = governor
+
+    def _check_budget(self) -> bool:
+        """Sweep-boundary budget check; True when the run must stop."""
+        governor = self.ctx.governor
+        if governor is None or self.finished:
+            return False
+        stop = governor.round_status(
+            self.ctx.sweep, len(self.ctx.store), self.result.chase_steps
+        )
+        if stop is None:
+            return False
+        self._stop(*stop)
+        return True
+
+    def _stop(self, status: str, detail: str) -> None:
+        """End the run early with a structured status and partial results."""
+        self.result.status = status
+        self.result.stop_reason = detail
+        self.result.warnings.append(
+            f"streaming run stopped early ({status}): {detail}; "
+            "the answers produced so far are a sound subset of the complete result"
+        )
+        self._finish()
 
     def _drive_once(self) -> bool:
         """One driver sweep: give every sink a pull; False at the fixpoint."""
         self._ensure_started()
+        if self._check_budget():
+            return False
         self.ctx.sweep += 1
         self.stats.sweeps += 1
         self.ctx.store.current_round = self.ctx.sweep
         before = self.ctx.progress
-        for sink in self.all_sinks:
-            if sink.produce(self.sched):
-                return True
+        try:
+            for sink in self.all_sinks:
+                if sink.produce(self.sched):
+                    return True
+        except ExecutionStopped as stop:
+            self._stop(stop.status, stop.detail)
+            return False
         if self.ctx.progress == before:
             self._finish()
             return False
@@ -619,7 +673,8 @@ class PipelineExecutor:
         if self.finished:
             return
         self.finished = True
-        self.ctx.engine.check_violations(self.result)
+        if self.result.status == STATUS_COMPLETE:
+            self.ctx.engine.check_violations(self.result)
         self.result.rounds = self.stats.sweeps
         if self.ctx.started_at is not None:
             self.result.elapsed_seconds = time.perf_counter() - self.ctx.started_at
@@ -627,6 +682,8 @@ class PipelineExecutor:
         extra["pull_protocol"] = self.sched.stats()
         extra["buffer_evictions"] = self.buffers.total_evictions()
         self.result.extra_stats.update(extra)
+        if len(self.ctx.store) > self.result.peak_resident_facts:
+            self.result.peak_resident_facts = len(self.ctx.store)
 
     # ------------------------------------------------------------------ answers
     def first_answer(self) -> Optional[Fact]:
@@ -662,13 +719,19 @@ class PipelineExecutor:
         """Drain the pipeline to the fixpoint and return the chase result."""
         self._ensure_started()
         while not self.finished:
+            if self._check_budget():
+                break
             before = self.ctx.progress
             self.ctx.sweep += 1
             self.stats.sweeps += 1
             self.ctx.store.current_round = self.ctx.sweep
-            for sink in self.all_sinks:
-                while sink.produce(self.sched):
-                    pass
+            try:
+                for sink in self.all_sinks:
+                    while sink.produce(self.sched):
+                        pass
+            except ExecutionStopped as stop:
+                self._stop(stop.status, stop.detail)
+                break
             if self.ctx.progress == before:
                 self._finish()
         return self.result

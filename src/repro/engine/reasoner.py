@@ -42,10 +42,11 @@ Typical usage::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.chase import ChaseConfig, ChaseEngine, ChaseResult
+from ..core.limits import STATUS_COMPLETE, CancellationToken, ExecutionBudget
 from ..core.harmful_joins import (
     HarmfulJoinEliminationResult,
     UnsupportedHarmfulJoin,
@@ -131,6 +132,25 @@ class ReasoningResult:
     #: on runs without a query or with ``rewrite="none"``.
     magic_rewriting: Optional[MagicRewriteResult] = None
     _finalizer: Optional[object] = field(default=None, repr=False, compare=False)
+
+    @property
+    def status(self) -> str:
+        """Structured run outcome: ``"complete"``, ``"deadline_exceeded"``,
+        ``"budget_exceeded"`` or ``"cancelled"`` (see :mod:`repro.core.limits`).
+
+        Non-complete runs carry the sound partial materialisation derived
+        before the stop — the chase is monotone, so every answer present is
+        an answer of the complete run too.
+        """
+        return self.chase.status
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """Why a non-complete run stopped (``None`` for complete runs)."""
+        return self.chase.stop_reason
+
+    def is_complete(self) -> bool:
+        return self.chase.status == STATUS_COMPLETE
 
     def facts(self, predicate: str) -> Tuple[Fact, ...]:
         return self.answers.facts(predicate)
@@ -224,6 +244,7 @@ class VadalogReasoner:
         executor: str = "compiled",
         parallelism: Optional[int] = None,
         parallel_backend: str = "threads",
+        parallel_worker_timeout: Optional[float] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -242,6 +263,10 @@ class VadalogReasoner:
         #: ``"threads"`` (persistent pool, shared read snapshot) or
         #: ``"fork"`` (per-round process pool, copy-on-write snapshot).
         self.parallel_backend = parallel_backend
+        #: Per-shard result timeout (seconds); a shard that exceeds it is
+        #: treated as hung and goes through worker recovery (retry, then
+        #: degrade to sequential).  ``None`` = wait indefinitely.
+        self.parallel_worker_timeout = parallel_worker_timeout
         self.warnings: List[str] = []
         self.harmful_join_rewriting: Optional[HarmfulJoinEliminationResult] = None
         #: ``@bind`` resolution is memoized across runs so the per-source
@@ -311,6 +336,9 @@ class VadalogReasoner:
         strategy: Union[str, TerminationStrategy, None] = None,
         query: Union[str, Atom, None] = None,
         rewrite: Optional[str] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[ExecutionBudget] = None,
+        cancel: Optional[CancellationToken] = None,
     ) -> ReasoningResult:
         """Run the reasoning task and return answers plus diagnostics.
 
@@ -325,10 +353,20 @@ class VadalogReasoner:
         filters.  Both return identical answers — the rewriting only prunes
         derivations no answer depends on.  Query runs do not write back to
         ``@output`` bindings (their answer set is intentionally partial).
+
+        ``deadline`` (wall-clock seconds), ``budget`` (an
+        :class:`~repro.core.limits.ExecutionBudget`) and ``cancel`` (a
+        :class:`~repro.core.limits.CancellationToken`) bound the run: when
+        any of them triggers, the run ends gracefully with
+        ``result.status != "complete"`` and the sound partial answers
+        derived so far, instead of raising.  ``deadline`` is shorthand for
+        ``budget=ExecutionBudget(deadline_seconds=...)`` and overrides the
+        budget's own deadline when both are given.
         """
         timings: Dict[str, float] = {}
         started = time.perf_counter()
         chosen = self._resolve_strategy(strategy)
+        config = self._effective_config(deadline, budget, cancel)
         spec = self._prepare_run(outputs, query, rewrite)
         timings["rewrite"] = time.perf_counter() - started
         output_predicates = spec.outputs
@@ -336,7 +374,7 @@ class VadalogReasoner:
 
         if self.executor == "streaming":
             pipeline = self._build_pipeline(
-                database, bindings, chosen, output_predicates, spec
+                database, bindings, chosen, output_predicates, spec, config=config
             )
             timings["load"] = time.perf_counter() - started
             chase_started = time.perf_counter()
@@ -362,10 +400,11 @@ class VadalogReasoner:
                     facts,
                     strategy=chosen,
                     analysis=spec.analysis,
-                    config=self.chase_config,
+                    config=config,
                     join_plans=spec.join_plans,
                     parallelism=self.parallelism,
                     backend=self.parallel_backend,
+                    worker_timeout=self.parallel_worker_timeout,
                 )
             else:
                 engine = ChaseEngine(
@@ -373,7 +412,7 @@ class VadalogReasoner:
                     facts,
                     strategy=chosen,
                     analysis=spec.analysis,
-                    config=self.chase_config,
+                    config=config,
                     executor=self.executor,
                     join_plans=spec.join_plans,
                 )
@@ -400,7 +439,7 @@ class VadalogReasoner:
             plan=self.plan,
             scheduler=self.scheduler_report,
             harmful_join_rewriting=self.harmful_join_rewriting,
-            warnings=list(self.warnings),
+            warnings=list(self.warnings) + list(chase_result.warnings),
             timings=timings,
             pipeline=pipeline,
             source_stats=bindings.source_stats(),
@@ -418,6 +457,9 @@ class VadalogReasoner:
         strategy: Union[str, TerminationStrategy, None] = None,
         query: Union[str, Atom, None] = None,
         rewrite: Optional[str] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[ExecutionBudget] = None,
+        cancel: Optional[CancellationToken] = None,
     ) -> ReasoningResult:
         """Start a lazy streaming run: nothing is evaluated until pulled.
 
@@ -428,14 +470,17 @@ class VadalogReasoner:
         regardless of its default ``executor``.  ``query``/``rewrite``
         behave as in :meth:`reason`; with ``rewrite="magic"`` the pipeline
         pulls through the rewritten program, so a bound first answer touches
-        only the demanded slice of the data.
+        only the demanded slice of the data.  ``deadline``/``budget``/
+        ``cancel`` bound the run as in :meth:`reason`; the deadline clock
+        starts at the first pull, not at this call.
         """
         chosen = self._resolve_strategy(strategy)
+        config = self._effective_config(deadline, budget, cancel)
         spec = self._prepare_run(outputs, query, rewrite)
         output_predicates = spec.outputs
         bindings = self._collect_bindings(output_predicates)
         pipeline = self._build_pipeline(
-            database, bindings, chosen, output_predicates, spec
+            database, bindings, chosen, output_predicates, spec, config=config
         )
 
         def finalize(result: ReasoningResult) -> None:
@@ -448,6 +493,9 @@ class VadalogReasoner:
                 write_output_bindings(bindings, answers, output_predicates)
             result.answers = answers
             result.source_stats = bindings.source_stats()
+            for warning in pipeline.result.warnings:
+                if warning not in result.warnings:
+                    result.warnings.append(warning)
             if pipeline.result.first_answer_seconds is not None:
                 result.timings["first_answer"] = pipeline.result.first_answer_seconds
             result.timings["total"] = pipeline.result.elapsed_seconds
@@ -464,6 +512,24 @@ class VadalogReasoner:
             pipeline=pipeline,
             magic_rewriting=spec.rewriting,
             _finalizer=finalize,
+        )
+
+    def _effective_config(
+        self,
+        deadline: Optional[float],
+        budget: Optional[ExecutionBudget],
+        cancel: Optional[CancellationToken],
+    ) -> ChaseConfig:
+        """The run's chase config with the call's budget/cancel merged in."""
+        if deadline is None and budget is None and cancel is None:
+            return self.chase_config
+        merged = budget or self.chase_config.budget or ExecutionBudget()
+        if deadline is not None:
+            merged = replace(merged, deadline_seconds=deadline)
+        return replace(
+            self.chase_config,
+            budget=merged,
+            cancel=cancel if cancel is not None else self.chase_config.cancel,
         )
 
     # ----------------------------------------------------------------- helpers
@@ -586,6 +652,7 @@ class VadalogReasoner:
         strategy: TerminationStrategy,
         output_predicates: Sequence[str],
         spec: Optional[_RunSpec] = None,
+        config: Optional[ChaseConfig] = None,
     ) -> PipelineExecutor:
         """Assemble the streaming pipeline for one run.
 
@@ -621,7 +688,7 @@ class VadalogReasoner:
             input_managers=managers,
             strategy=strategy,
             analysis=analysis,
-            config=self.chase_config,
+            config=config if config is not None else self.chase_config,
             join_plans=join_plans,
         )
 
@@ -713,6 +780,9 @@ def reason(
     parallel_backend: str = "threads",
     query: Union[str, Atom, None] = None,
     rewrite: Optional[str] = None,
+    deadline: Optional[float] = None,
+    budget: Optional[ExecutionBudget] = None,
+    cancel: Optional[CancellationToken] = None,
 ) -> ReasoningResult:
     """One-call helper: build a :class:`VadalogReasoner` and run it."""
     reasoner = VadalogReasoner(
@@ -728,4 +798,7 @@ def reason(
         certain=certain,
         query=query,
         rewrite=rewrite,
+        deadline=deadline,
+        budget=budget,
+        cancel=cancel,
     )

@@ -144,6 +144,10 @@ class PullScheduler:
     def __init__(self, record_events: bool = True, max_events: int = 10_000) -> None:
         self.record_events = record_events
         self.max_events = max_events
+        #: Optional per-run :class:`~repro.core.limits.ExecutionGovernor`;
+        #: when set, every ``next()`` is a (strided) deadline/cancellation
+        #: checkpoint — the streaming equivalent of "inside long joins".
+        self.governor = None
         self.events: List[PullEvent] = []
         self.next_calls = 0
         self.hits = 0
@@ -176,6 +180,9 @@ class PullScheduler:
             self.events.append(PullEvent(caller, callee, kind))
 
     def record_next(self, caller: str, callee: str) -> None:
+        governor = self.governor
+        if governor is not None:
+            governor.tick()
         self.next_calls += 1
         self._record(caller, callee, "next")
 

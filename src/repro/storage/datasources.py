@@ -41,6 +41,7 @@ import csv
 import json
 import operator
 import sqlite3
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -56,11 +57,39 @@ from typing import (
     Union,
 )
 
+from ..testing.faults import fault_point
 from .database import Database
 
 
 class DataSourceError(Exception):
     """Raised when a datasource cannot be resolved, read or written."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-exponential-backoff policy for transient scan failures.
+
+    ``attempts`` counts *retries* after the first failure; a scan therefore
+    makes at most ``attempts + 1`` tries before giving up with a
+    :class:`DataSourceError` (chained to the last transient error).  Only
+    the exception types in ``retry_on`` are considered transient — semantic
+    errors (malformed rows, missing tables, arity mismatches) are raised as
+    :class:`DataSourceError` immediately and never retried.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    retry_on: Tuple[type, ...] = (OSError, sqlite3.OperationalError)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * (self.multiplier ** (attempt - 1)), self.max_delay)
+
+
+#: Policy used when a source is created without an explicit one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +195,8 @@ class SourceStats:
     page_hits: int = 0
     page_misses: int = 0
     pages_evicted: int = 0
+    retries: int = 0  # transient scan failures absorbed by the retry policy
+    retry_giveups: int = 0  # scans that exhausted their retry budget
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -179,6 +210,8 @@ class SourceStats:
             "page_hits": self.page_hits,
             "page_misses": self.page_misses,
             "pages_evicted": self.pages_evicted,
+            "retries": self.retries,
+            "retry_giveups": self.retry_giveups,
         }
 
 
@@ -259,10 +292,12 @@ class DataSource:
         arity: Optional[int] = None,
         page_size: int = 1024,
         max_cache_pages: int = 64,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.predicate = predicate
         self.arity = arity
         self.stats = SourceStats()
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._cache = RowPageCache(page_size=page_size, max_pages=max_cache_pages)
 
     # -- reading ---------------------------------------------------------------
@@ -292,7 +327,7 @@ class DataSource:
         # without being retained (the memory bound stays the cache budget).
         budget = self._cache.page_size * self._cache.max_pages
         rows: Optional[List[Tuple[object, ...]]] = []
-        for row in self._scan_rows(pushdown):
+        for row in self._scan_resilient(pushdown):
             self.stats.rows_emitted += 1
             if rows is not None:
                 rows.append(row)
@@ -301,6 +336,43 @@ class DataSource:
             yield row
         if rows is not None:
             self._cache.put(key, rows, self.stats)
+
+    def _scan_resilient(self, pushdown: Optional[Pushdown]) -> Iterator[Tuple[object, ...]]:
+        """Backend scan wrapped in retry-with-exponential-backoff.
+
+        Transient failures (``retry_policy.retry_on``, by default ``OSError``
+        and ``sqlite3.OperationalError``) restart the backend scan; rows
+        already handed to the consumer are skipped on the restarted pass —
+        backend scans are deterministic, so resume-by-skip neither drops nor
+        duplicates rows.  Exhausting the retry budget raises a
+        :class:`DataSourceError` chained to the last transient error.
+        """
+        policy = self.retry_policy
+        emitted = 0
+        attempt = 0
+        while True:
+            try:
+                fault_point(
+                    "datasource.scan", predicate=self.predicate, attempt=attempt
+                )
+                skip = emitted
+                for row in self._scan_rows(pushdown):
+                    if skip:
+                        skip -= 1
+                        continue
+                    emitted += 1
+                    yield row
+                return
+            except policy.retry_on as exc:
+                attempt += 1
+                if attempt > policy.attempts:
+                    self.stats.retry_giveups += 1
+                    raise DataSourceError(
+                        f"{self.kind} source for {self.predicate!r} failed after "
+                        f"{attempt} attempts: {exc}"
+                    ) from exc
+                self.stats.retries += 1
+                time.sleep(policy.delay_for(attempt))
 
     def _scan_rows(self, pushdown: Optional[Pushdown]) -> Iterator[Tuple[object, ...]]:
         raise NotImplementedError
@@ -520,12 +592,17 @@ class SQLiteDataSource(DataSource):
         table: Optional[str] = None,
         columns: Optional[Sequence[str]] = None,
         create: bool = False,
+        busy_timeout: float = 5.0,
         **kwargs,
     ) -> None:
         super().__init__(predicate, **kwargs)
         self.path = Path(path)
         self.table = table or predicate
         self._columns = list(columns) if columns else None
+        #: Seconds SQLite blocks on a locked database before raising
+        #: ``OperationalError`` — which the retry policy then backs off on,
+        #: so short lock contention is absorbed instead of failing the scan.
+        self.busy_timeout = busy_timeout
         if not create:
             self._validate_schema()
 
@@ -535,7 +612,7 @@ class SQLiteDataSource(DataSource):
             raise DataSourceError(
                 f"sqlite source for {self.predicate!r} not found: {self.path}"
             )
-        return sqlite3.connect(str(self.path))
+        return sqlite3.connect(str(self.path), timeout=self.busy_timeout)
 
     def _table_columns(self, connection: sqlite3.Connection) -> List[str]:
         cursor = connection.execute(f'PRAGMA table_info("{self.table}")')

@@ -1,0 +1,21 @@
+"""Deterministic testing utilities (fault injection)."""
+
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    WorkerCrash,
+    fault_point,
+    inject,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "WorkerCrash",
+    "fault_point",
+    "inject",
+    "install",
+    "uninstall",
+]

@@ -26,6 +26,7 @@ from repro.storage.datasources import (
     InMemoryDataSource,
     JsonlDataSource,
     Pushdown,
+    RetryPolicy,
     RowPageCache,
     SQLiteDataSource,
     clear_memory_relations,
@@ -461,3 +462,165 @@ class TestWriteback:
         assert not (tmp_path / "control.jsonl").exists()
         lazy.complete()
         assert (tmp_path / "control.jsonl").read_text().strip() == '["a", "b"]'
+
+
+# ---------------------------------------------------------------------------
+# Error paths and the retry policy (robustness layer)
+# ---------------------------------------------------------------------------
+
+
+class FlakyCsvDataSource(CsvDataSource):
+    """A CSV source that raises a transient OSError mid-scan, once."""
+
+    def __init__(self, *args, fail_after_rows=2, failures=1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fail_after_rows = fail_after_rows
+        self.failures_left = failures
+
+    def _scan_rows(self, pushdown):
+        count = 0
+        for row in super()._scan_rows(pushdown):
+            yield row
+            count += 1
+            if count == self.fail_after_rows and self.failures_left:
+                self.failures_left -= 1
+                raise OSError("simulated transient I/O failure")
+
+
+class TestRetryPolicy:
+    def fast_policy(self, attempts=3):
+        return RetryPolicy(attempts=attempts, base_delay=0.001)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.05, multiplier=2.0, max_delay=0.15)
+        assert policy.delay_for(1) == pytest.approx(0.05)
+        assert policy.delay_for(2) == pytest.approx(0.10)
+        assert policy.delay_for(3) == pytest.approx(0.15)  # capped
+        assert policy.delay_for(10) == pytest.approx(0.15)
+
+    def test_transient_failure_mid_scan_resumes_without_duplicates(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("".join(f"{i},{i + 1}\n" for i in range(10)))
+        source = FlakyCsvDataSource(
+            "E", path, fail_after_rows=4, retry_policy=self.fast_policy()
+        )
+        rows = list(source.scan())
+        assert rows == [(i, i + 1) for i in range(10)]
+        assert source.stats.retries == 1
+        assert source.stats.retry_giveups == 0
+
+    def test_retry_exhaustion_raises_datasource_error(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("1,2\n")
+        source = FlakyCsvDataSource(
+            "E",
+            path,
+            fail_after_rows=1,
+            failures=99,
+            retry_policy=self.fast_policy(attempts=2),
+        )
+        with pytest.raises(DataSourceError) as err:
+            list(source.scan())
+        assert "failed after 3 attempts" in str(err.value)
+        assert isinstance(err.value.__cause__, OSError)
+        assert source.stats.retries == 2
+        assert source.stats.retry_giveups == 1
+
+    def test_file_vanishing_between_retries_is_not_retried(self, tmp_path):
+        # First attempt dies with a transient OSError; before the retry the
+        # file disappears.  The retry's missing-file DataSourceError is
+        # semantic, not transient: it propagates immediately.
+        path = tmp_path / "edges.csv"
+        path.write_text("1,2\n2,3\n")
+
+        class VanishingCsv(FlakyCsvDataSource):
+            def _scan_rows(self, pushdown):
+                if self.failures_left:
+                    self.failures_left = 0
+                    yield (1, 2)
+                    path.unlink()
+                    raise OSError("disk detached")
+                yield from super()._scan_rows(pushdown)
+
+        source = VanishingCsv("E", path, retry_policy=self.fast_policy())
+        with pytest.raises(DataSourceError, match="not found"):
+            list(source.scan())
+        assert source.stats.retries == 1
+        assert source.stats.retry_giveups == 0
+
+    def test_malformed_csv_row_is_not_retried(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\nc\n")  # second row has the wrong arity
+        source = CsvDataSource("P", path, arity=2, retry_policy=self.fast_policy())
+        with pytest.raises(DataSourceError, match="arity mismatch"):
+            list(source.scan())
+        assert source.stats.retries == 0
+
+    def test_malformed_jsonl_line_is_not_retried(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('["a", "b"]\n{not json\n')
+        source = JsonlDataSource("P", path, retry_policy=self.fast_policy())
+        with pytest.raises(DataSourceError, match="not valid JSON"):
+            list(source.scan())
+        assert source.stats.retries == 0
+
+    def test_missing_file_at_scan_start_is_not_retried(self, tmp_path):
+        source = CsvDataSource(
+            "P", tmp_path / "nope.csv", retry_policy=self.fast_policy()
+        )
+        with pytest.raises(DataSourceError, match="not found"):
+            list(source.scan())
+        assert source.stats.retries == 0
+        assert source.stats.retry_giveups == 0
+
+    def test_sqlite_lock_contention_is_absorbed(self, tmp_path):
+        import threading
+
+        path = make_sqlite(tmp_path / "locked.db")
+        source = SQLiteDataSource(
+            "Own",
+            path,
+            busy_timeout=0.05,
+            retry_policy=RetryPolicy(attempts=10, base_delay=0.05),
+        )
+        blocker = sqlite3.connect(str(path), check_same_thread=False)
+        blocker.execute("BEGIN EXCLUSIVE")
+        release = threading.Timer(0.4, blocker.commit)
+        release.start()
+        try:
+            rows = list(source.scan())
+        finally:
+            release.cancel()
+            blocker.close()
+        assert sorted(rows) == [("a", "b", 0.6), ("b", "c", 0.4)]
+        assert source.stats.retries >= 1
+        assert source.stats.retry_giveups == 0
+
+    def test_sqlite_lock_exhaustion_raises_datasource_error(self, tmp_path):
+        path = make_sqlite(tmp_path / "locked.db")
+        source = SQLiteDataSource(
+            "Own",
+            path,
+            busy_timeout=0.01,
+            retry_policy=RetryPolicy(attempts=2, base_delay=0.001),
+        )
+        blocker = sqlite3.connect(str(path))
+        blocker.execute("BEGIN EXCLUSIVE")
+        try:
+            with pytest.raises(DataSourceError, match="failed after 3 attempts"):
+                list(source.scan())
+        finally:
+            blocker.rollback()
+            blocker.close()
+        assert source.stats.retry_giveups == 1
+
+    def test_retry_counters_surface_in_stats_dict(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("1,2\n")
+        source = FlakyCsvDataSource(
+            "E", path, fail_after_rows=1, retry_policy=self.fast_policy()
+        )
+        list(source.scan())
+        stats = source.stats.as_dict()
+        assert stats["retries"] == 1
+        assert stats["retry_giveups"] == 0

@@ -56,6 +56,7 @@ import json
 import multiprocessing
 import os
 import platform
+import statistics
 import sys
 import sysconfig
 import tempfile
@@ -65,6 +66,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine.reasoner import EXECUTORS, VadalogReasoner  # noqa: E402
+from repro.obs.report import top_rules  # noqa: E402
 from repro.workloads import (  # noqa: E402
     arity_scenario,
     atom_count_scenario,
@@ -201,12 +203,23 @@ MAGIC_SCENARIOS = {
 MAGIC_FACT_REDUCTION_TARGET = 2.0
 MAGIC_EXECUTORS = ("compiled", "streaming", "parallel")
 
+#: Telemetry section (PR 7): traced-over-untraced wall-clock design goal of
+#: the observability layer.  The CI gate (``check_bench.py
+#: --trace-overhead``) allows 10%; this is the tighter target the report
+#: documents.  The tiny smoke scenarios are noise-dominated, so the
+#: headline number is the median ratio across all (scenario, executor)
+#: pairs, not any single pair.
+TRACE_OVERHEAD_TARGET = 1.02
+TELEMETRY_EXECUTORS = ("compiled", "streaming", "parallel")
+TELEMETRY_RUNS = 3
+
 
 def run_one(
     factory,
     executor: str,
     parallelism=None,
     parallel_backend: str = "threads",
+    trace: bool = False,
 ) -> dict:
     scenario = factory()
     started = time.perf_counter()
@@ -219,7 +232,9 @@ def run_one(
         base_path=scenario.base_path,
         **kwargs,
     )
-    result = reasoner.reason(database=scenario.database, outputs=scenario.outputs)
+    result = reasoner.reason(
+        database=scenario.database, outputs=scenario.outputs, trace=trace
+    )
     elapsed = time.perf_counter() - started
     total_facts = len(result.chase.store)
     row = {
@@ -250,6 +265,8 @@ def run_one(
         )
     if result.source_stats:
         row["datasources"] = result.source_stats
+    if trace and result.trace is not None:
+        row["top_rules"] = top_rules(result.trace, limit=5)
     return row
 
 
@@ -501,6 +518,62 @@ def run_magic_comparison(smoke: bool, executors) -> dict:
     return section
 
 
+def run_telemetry_comparison(smoke: bool, executors, only=None) -> dict:
+    """Traced vs untraced wall-clock per scenario, plus per-rule hot spots.
+
+    Every scenario is run ``TELEMETRY_RUNS`` times untraced and traced
+    (interleaved, median-of) on each selected executor; the section records
+    the overhead ratio and the traced run's ``top_rules`` aggregation — the
+    per-rule observability evidence of the telemetry layer.
+    """
+    chosen = [e for e in TELEMETRY_EXECUTORS if e in executors] or ["compiled"]
+    section = {
+        "executors": chosen,
+        "overhead_target": TRACE_OVERHEAD_TARGET,
+        "runs_per_median": TELEMETRY_RUNS,
+        "scenarios": {},
+    }
+    ratios = []
+    for name, (_figure, _heavy, _recursive, full, smoke_factory) in SCENARIOS.items():
+        if only and name not in only:
+            continue
+        factory = smoke_factory if smoke else full
+        print(f"== telemetry: {name}", flush=True)
+        row = {}
+        for executor in chosen:
+            untraced, traced = [], []
+            traced_row = None
+            for _ in range(TELEMETRY_RUNS):
+                untraced.append(run_one(factory, executor)["elapsed_seconds"])
+                traced_row = run_one(factory, executor, trace=True)
+                traced.append(traced_row["elapsed_seconds"])
+            untraced_median = statistics.median(untraced)
+            traced_median = statistics.median(traced)
+            overhead = (
+                round(traced_median / untraced_median, 3)
+                if untraced_median > 0
+                else None
+            )
+            if overhead is not None:
+                ratios.append(overhead)
+            row[executor] = {
+                "untraced_seconds": untraced_median,
+                "traced_seconds": traced_median,
+                "overhead_ratio": overhead,
+                "top_rules": traced_row.get("top_rules", []),
+            }
+            print(
+                f"   {executor}: untraced={untraced_median:.4f}s "
+                f"traced={traced_median:.4f}s overhead={overhead}x",
+                flush=True,
+            )
+        section["scenarios"][name] = row
+    section["median_overhead_ratio"] = (
+        round(statistics.median(ratios), 3) if ratios else None
+    )
+    return section
+
+
 def run_first_answer(factory) -> dict:
     """Measure the lazy streaming path: latency + residency at first answer."""
     scenario = factory()
@@ -528,7 +601,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o",
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR5.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR7.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -631,6 +704,9 @@ def main(argv=None) -> int:
     # Magic rewriting: point queries, rewritten vs unrewritten, per executor.
     magic_section = run_magic_comparison(args.smoke, executors)
 
+    # Telemetry: traced vs untraced overhead + per-rule hot spots.
+    telemetry_section = run_telemetry_comparison(args.smoke, executors, args.only)
+
     # Datasource backends: memory vs SQLite equivalence + pushdown evidence.
     backend_section = run_backend_comparison(args.smoke)
     backends_match = all(
@@ -658,12 +734,12 @@ def main(argv=None) -> int:
     )
 
     report = {
-        "pr": 5,
+        "pr": 7,
         "description": (
-            "query-driven magic-set rewriting (point queries, rewritten vs "
-            "unrewritten, all executors) on top of the PR-4 comparison "
-            "matrix: sequential/streaming/parallel executors, worker sweep, "
-            "datasource backends"
+            "end-to-end reasoning telemetry (traced vs untraced overhead, "
+            "per-rule hot spots via span tracing) on top of the PR-5 "
+            "comparison matrix: magic-set rewriting, sequential/streaming/"
+            "parallel executors, worker sweep, datasource backends"
         ),
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
@@ -678,6 +754,7 @@ def main(argv=None) -> int:
         "streaming_fewer_resident_on_two_recursion_heavy": len(streaming_wins) >= 2,
         "parallel_worker_sweep": sweep_section,
         "magic_rewrite": magic_section,
+        "telemetry": telemetry_section,
         "datasource_backends": backend_section,
         "sqlite_answers_match_memory": backends_match,
         "sqlite_pushdown_rows": pushdown_rows,
@@ -714,6 +791,12 @@ def main(argv=None) -> int:
         f"{', '.join(meets_magic) if meets_magic else 'none'} "
         f"(answers identical: {magic_section['answers_identical_everywhere']})"
     )
+    if telemetry_section["median_overhead_ratio"] is not None:
+        print(
+            f"telemetry overhead (median traced/untraced ratio): "
+            f"{telemetry_section['median_overhead_ratio']}x "
+            f"(target ≤{TRACE_OVERHEAD_TARGET}x)"
+        )
     return 0
 
 

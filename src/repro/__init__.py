@@ -48,6 +48,7 @@ from .core import (
     universal_answer,
 )
 from .engine import ReasoningResult, VadalogReasoner, reason
+from .obs import JsonlTraceSink, MetricsRegistry, Tracer, render_trace
 from .storage import Database, Relation
 
 __version__ = "1.0.0"
@@ -83,6 +84,10 @@ __all__ = [
     "ReasoningResult",
     "VadalogReasoner",
     "reason",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "Tracer",
+    "render_trace",
     "Database",
     "Relation",
     "__version__",

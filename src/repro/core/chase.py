@@ -187,9 +187,14 @@ class ChaseEngine:
         config: Optional[ChaseConfig] = None,
         executor: str = "compiled",
         join_plans: Optional[Dict[int, object]] = None,
+        tracer=None,
     ) -> None:
         if executor not in ("compiled", "naive"):
             raise ValueError(f"unknown executor {executor!r}; use 'compiled' or 'naive'")
+        #: Optional :class:`repro.obs.Tracer`.  ``None`` (the default) keeps
+        #: every instrumentation block behind an ``is not None`` guard so the
+        #: untraced path runs no telemetry code at all.
+        self.tracer = tracer
         self.program = program
         self.analysis = analysis or analyse_program(program)
         self.strategy = strategy if strategy is not None else WardedTerminationStrategy()
@@ -273,6 +278,16 @@ class ChaseEngine:
         self._governor = governor
         result.peak_resident_facts = len(store)
 
+        tracer = self.tracer
+        chase_span = None
+        if tracer is not None:
+            if governor is not None:
+                governor.tracer = tracer
+            chase_span = tracer.begin(
+                "chase", f"chase:{self.executor}", executor=self.executor
+            )
+            chase_span.counters["input_facts"] = len(store)
+
         round_index = 0
         delta: List[ChaseNode] = list(nodes)
         try:
@@ -289,7 +304,20 @@ class ChaseEngine:
                     raise ChaseLimitError(
                         f"chase exceeded the configured maximum of {self.config.max_rounds} rounds"
                     )
-                delta = self._evaluate_round(store, node_of, delta, round_index, result)
+                if tracer is None:
+                    delta = self._evaluate_round(store, node_of, delta, round_index, result)
+                else:
+                    round_span = tracer.begin(
+                        "round", f"round:{round_index}", round=round_index
+                    )
+                    round_span.counters["delta_in"] = len(delta)
+                    delta = self._evaluate_round(store, node_of, delta, round_index, result)
+                    round_span.counters["derived"] = len(delta)
+                    round_span.counters["resident_facts"] = len(store)
+                    tracer.end(round_span)
+                    tracer.metrics.histogram("chase.round_seconds").observe(
+                        round_span.duration
+                    )
                 if len(store) > result.peak_resident_facts:
                     result.peak_resident_facts = len(store)
         except ExecutionStopped as stop:
@@ -310,6 +338,20 @@ class ChaseEngine:
                 "the materialisation is a sound subset of the complete result"
             )
         result.elapsed_seconds = time.perf_counter() - started
+        if tracer is not None:
+            tracer.unwind(chase_span)
+            chase_span.counters["facts"] = len(store)
+            chase_span.counters["derived"] = result.chase_steps
+            chase_span.counters["rounds"] = result.rounds
+            chase_span.counters["candidates"] = result.candidate_facts
+            chase_span.counters["peak_resident_facts"] = result.peak_resident_facts
+            chase_span.attrs["status"] = result.status
+            if result.stop_reason:
+                chase_span.attrs["stop_reason"] = result.stop_reason
+            tracer.end(chase_span)
+            tracer.metrics.gauge("chase.peak_resident_facts").set_max(
+                result.peak_resident_facts
+            )
         return result
 
     def _evaluate_round(
@@ -338,16 +380,58 @@ class ChaseEngine:
             # by the compiled executors' seed probes.
             store.begin_round(round_index, delta_facts)
         new_nodes: List[ChaseNode] = []
+        tracer = self.tracer
         for rule in self.program.rules:
-            produced = self._apply_rule(
-                rule, store, node_of, delta_by_predicate, round_index, result
-            )
+            if tracer is None:
+                produced = self._apply_rule(
+                    rule, store, node_of, delta_by_predicate, round_index, result
+                )
+            else:
+                produced = self._apply_rule_traced(
+                    tracer, rule, store, node_of, delta_by_predicate, round_index, result
+                )
             new_nodes.extend(produced)
             if self.config.max_facts is not None and len(store) > self.config.max_facts:
                 raise ChaseLimitError(
                     f"chase exceeded the configured maximum of {self.config.max_facts} facts"
                 )
         return new_nodes
+
+    def _apply_rule_traced(
+        self,
+        tracer,
+        rule: Rule,
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        delta_by_predicate: Dict[str, List[Fact]],
+        round_index: int,
+        result: ChaseResult,
+    ) -> List[ChaseNode]:
+        """Wrap :meth:`_apply_rule` in a per-(round, rule) span.
+
+        Counters are bumped in bulk after the rule finishes (never per
+        fire), keeping the traced path within the ≤2% overhead target:
+        ``candidates`` is every head instantiation attempted, ``fires`` the
+        admitted subset, ``deduped`` the difference (already-present or
+        termination-rejected candidates).
+        """
+        label = rule.label or "rule"
+        span = tracer.begin("rule", f"rule:{label}", rule=label, round=round_index)
+        candidates_before = result.candidate_facts
+        try:
+            produced = self._apply_rule(
+                rule, store, node_of, delta_by_predicate, round_index, result
+            )
+        except BaseException as exc:
+            tracer.end(span, status="error", error=repr(exc))
+            raise
+        fires = len(produced)
+        candidates = result.candidate_facts - candidates_before
+        span.counters["fires"] = fires
+        span.counters["candidates"] = candidates
+        span.counters["deduped"] = candidates - fires
+        tracer.end(span)
+        return produced
 
     # ---------------------------------------------------------- rule matching
     def _apply_rule(
@@ -891,12 +975,15 @@ def run_chase(
     executor: str = "compiled",
     parallelism: Optional[int] = None,
     parallel_backend: str = "threads",
+    tracer=None,
 ) -> ChaseResult:
     """One-call helper: build a :class:`ChaseEngine` and run it.
 
     ``executor="parallel"`` routes through the sharded round executor
     (:class:`repro.engine.partition.ParallelChaseEngine`); ``parallelism``
-    and ``parallel_backend`` are only meaningful there.
+    and ``parallel_backend`` are only meaningful there.  ``tracer`` is an
+    optional :class:`repro.obs.Tracer`; callers owning the tracer must call
+    ``tracer.finish()`` themselves (the reasoner does this for ``reason()``).
     """
     if executor not in ("compiled", "naive", "parallel"):
         raise ValueError(
@@ -914,9 +1001,11 @@ def run_chase(
             config=config,
             parallelism=parallelism,
             backend=parallel_backend,
+            tracer=tracer,
         )
         return parallel_engine.run()
     engine = ChaseEngine(
-        program, database, strategy=strategy, config=config, executor=executor
+        program, database, strategy=strategy, config=config, executor=executor,
+        tracer=tracer,
     )
     return engine.run()

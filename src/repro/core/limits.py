@@ -133,6 +133,25 @@ class ExecutionGovernor:
             self.budget.max_derived_facts is not None
             or self.budget.max_resident_facts is not None
         )
+        #: Optional :class:`repro.obs.Tracer` (duck-typed, set by the owning
+        #: executor after construction): every stop decision is recorded as
+        #: an instant ``governor-stop`` span plus a ``governor.stops`` counter.
+        self.tracer = None
+
+    def _stopped(self, status: Tuple[str, str]) -> Tuple[str, str]:
+        """Record a stop decision on the active tracer (if any) and pass it on."""
+        tracer = self.tracer
+        if tracer is not None:
+            now = time.perf_counter()
+            tracer.emit(
+                "governor-stop",
+                f"stop:{status[0]}",
+                now,
+                now,
+                attrs={"status": status[0], "detail": status[1]},
+            )
+            tracer.metrics.counter("governor.stops").inc()
+        return status
 
     @classmethod
     def for_config(cls, config: object) -> Optional["ExecutionGovernor"]:
@@ -156,12 +175,14 @@ class ExecutionGovernor:
         token = self.cancel
         if token is not None and token.cancelled:
             reason = token.reason or "cancelled by caller"
-            return (STATUS_CANCELLED, reason)
+            return self._stopped((STATUS_CANCELLED, reason))
         if self._deadline_at is not None and time.perf_counter() >= self._deadline_at:
-            return (
-                STATUS_DEADLINE,
-                f"deadline of {self.budget.deadline_seconds:.3f}s exceeded "
-                f"after {self.elapsed():.3f}s",
+            return self._stopped(
+                (
+                    STATUS_DEADLINE,
+                    f"deadline of {self.budget.deadline_seconds:.3f}s exceeded "
+                    f"after {self.elapsed():.3f}s",
+                )
             )
         return None
 
@@ -178,27 +199,33 @@ class ExecutionGovernor:
             return status
         budget = self.budget
         if budget.max_rounds is not None and rounds >= budget.max_rounds:
-            return (
-                STATUS_BUDGET,
-                f"round budget of {budget.max_rounds} chase rounds exhausted",
+            return self._stopped(
+                (
+                    STATUS_BUDGET,
+                    f"round budget of {budget.max_rounds} chase rounds exhausted",
+                )
             )
         if (
             budget.max_derived_facts is not None
             and derived_facts >= budget.max_derived_facts
         ):
-            return (
-                STATUS_BUDGET,
-                f"derived-fact budget of {budget.max_derived_facts} exhausted "
-                f"({derived_facts} facts derived)",
+            return self._stopped(
+                (
+                    STATUS_BUDGET,
+                    f"derived-fact budget of {budget.max_derived_facts} exhausted "
+                    f"({derived_facts} facts derived)",
+                )
             )
         if (
             budget.max_resident_facts is not None
             and resident_facts > budget.max_resident_facts
         ):
-            return (
-                STATUS_BUDGET,
-                f"resident-fact ceiling of {budget.max_resident_facts} exceeded "
-                f"({resident_facts} facts resident)",
+            return self._stopped(
+                (
+                    STATUS_BUDGET,
+                    f"resident-fact ceiling of {budget.max_resident_facts} exceeded "
+                    f"({resident_facts} facts resident)",
+                )
             )
         return None
 
@@ -216,19 +243,23 @@ class ExecutionGovernor:
             budget.max_derived_facts is not None
             and derived_facts >= budget.max_derived_facts
         ):
-            return (
-                STATUS_BUDGET,
-                f"derived-fact budget of {budget.max_derived_facts} exhausted "
-                f"({derived_facts} facts derived)",
+            return self._stopped(
+                (
+                    STATUS_BUDGET,
+                    f"derived-fact budget of {budget.max_derived_facts} exhausted "
+                    f"({derived_facts} facts derived)",
+                )
             )
         if (
             budget.max_resident_facts is not None
             and resident_facts > budget.max_resident_facts
         ):
-            return (
-                STATUS_BUDGET,
-                f"resident-fact ceiling of {budget.max_resident_facts} exceeded "
-                f"({resident_facts} facts resident)",
+            return self._stopped(
+                (
+                    STATUS_BUDGET,
+                    f"resident-fact ceiling of {budget.max_resident_facts} exceeded "
+                    f"({resident_facts} facts resident)",
+                )
             )
         return None
 

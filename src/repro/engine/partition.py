@@ -42,6 +42,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import time
 import zlib
 from concurrent.futures import (
     BrokenExecutor,
@@ -179,7 +180,9 @@ class RoundPartitioner:
 #: state: each run inserts its entry before creating its pool (children
 #: fork with the whole map and look up their own token) and deletes only
 #: that entry once its results are collected.
-_FORK_STATE: Dict[int, Tuple[List[Tuple[object, List[List[List[Fact]]]]], object, int]] = {}
+_FORK_STATE: Dict[
+    int, Tuple[List[Tuple[object, List[List[List[Fact]]]]], object, int, bool]
+] = {}
 _FORK_TOKENS = itertools.count()
 
 
@@ -189,10 +192,21 @@ def _match_entries(
     round_index: int,
     shard: int,
     encode: bool,
-) -> List[List[Tuple]]:
-    """Match every spec's shard against the snapshot; one result list per spec."""
+    traced: bool = False,
+) -> Tuple[List[List[Tuple]], Optional[Dict[str, object]]]:
+    """Match every spec's shard against the snapshot; one result list per spec.
+
+    With ``traced`` set, the second element is a plain-dict span record
+    (:meth:`repro.obs.Span.to_record` shape) timing the shard: live tracer
+    objects cannot cross a fork, so workers report through picklable records
+    the driver re-parents with ``Tracer.adopt`` before admission.  The
+    ``perf_counter`` timestamps stay comparable across fork children
+    (CLOCK_MONOTONIC is process-global on Linux).
+    """
     fault_point("parallel.worker", shard=shard, round=round_index)
+    t_start = time.perf_counter() if traced else 0.0
     results: List[List[Tuple]] = []
+    total_matches = 0
     for plan, seed_shards in entries:
         # A fresh executor per (worker, rule): the schedule is derived from
         # the shared immutable plan, while the stats counters stay private
@@ -207,15 +221,30 @@ def _match_entries(
         else:
             for _slots, used in executor.matches(reader, round_index, seed_lists=seed_lists):
                 matched.append(tuple(used))
+        total_matches += len(matched)
         results.append(matched)
-    return results
+    record: Optional[Dict[str, object]] = None
+    if traced:
+        record = {
+            "kind": "shard-match",
+            "name": f"shard:{shard}",
+            "span_id": 0,
+            "t_start": t_start,
+            "t_end": time.perf_counter(),
+            "status": "ok",
+            "attrs": {"shard": shard, "round": round_index, "pid": os.getpid()},
+            "counters": {"matches": total_matches, "rules": len(entries)},
+        }
+    return results, record
 
 
-def _fork_match_shard(task: Tuple[int, int]) -> List[List[Tuple[int, ...]]]:
+def _fork_match_shard(
+    task: Tuple[int, int]
+) -> Tuple[List[List[Tuple[int, ...]]], Optional[Dict[str, object]]]:
     """Fork-pool entry point: match one shard against the inherited snapshot."""
     token, shard = task
-    entries, reader, round_index = _FORK_STATE[token]
-    return _match_entries(entries, reader, round_index, shard, encode=True)
+    entries, reader, round_index, traced = _FORK_STATE[token]
+    return _match_entries(entries, reader, round_index, shard, encode=True, traced=traced)
 
 
 class ParallelChaseEngine(ChaseEngine):
@@ -239,6 +268,7 @@ class ParallelChaseEngine(ChaseEngine):
         parallelism: Optional[int] = None,
         backend: str = "threads",
         worker_timeout: Optional[float] = None,
+        tracer=None,
     ) -> None:
         if backend not in PARALLEL_BACKENDS:
             raise ValueError(
@@ -260,6 +290,7 @@ class ParallelChaseEngine(ChaseEngine):
             config=config,
             executor="compiled",
             join_plans=join_plans,
+            tracer=tracer,
         )
         self.executor = "parallel"
         self.parallelism = parallelism
@@ -340,6 +371,19 @@ class ParallelChaseEngine(ChaseEngine):
                 "error": f"{type(exc).__name__}: {exc}",
             }
         )
+        tracer = self.tracer
+        if tracer is not None:
+            now = time.perf_counter()
+            tracer.emit(
+                "worker-recovery",
+                f"recovery:shard{shard}",
+                now,
+                now,
+                attrs={"shard": shard, "round": round_index, "action": action},
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            tracer.metrics.counter("parallel.recoveries").inc()
         what = (
             "retrying the shard"
             if action == "retry"
@@ -359,11 +403,17 @@ class ParallelChaseEngine(ChaseEngine):
         round_index: int,
         result: ChaseResult,
     ) -> List[ChaseNode]:
+        tracer = self.tracer
         delta_facts = [node.fact for node in delta]
         store.begin_round(round_index, delta_facts)
         n_shards = self.parallelism
 
         # Stage 1: partition each parallel rule's delta by its seed join key.
+        partition_span = None
+        if tracer is not None:
+            partition_span = tracer.begin(
+                "partition", f"partition:{round_index}", round=round_index
+            )
         partitioner = RoundPartitioner(store, n_shards)
         specs: List[Tuple[Rule, object, List[List[List[Fact]]]]] = []
         for rule in self.program.rules:
@@ -377,10 +427,18 @@ class ParallelChaseEngine(ChaseEngine):
                 )
             ]
             specs.append((rule, plan, seed_shards))
+        if tracer is not None:
+            partition_span.counters["seed_facts"] = sum(partitioner.seed_counts)
+            partition_span.counters["rules"] = len(specs)
+            tracer.end(partition_span)
 
         # Stage 2: match every (rule, shard) on the worker pool against a
         # read-only snapshot of the store.
-        per_shard = self._match_phase(store, specs, round_index, n_shards)
+        per_shard, shard_records = self._match_phase(store, specs, round_index, n_shards)
+        if tracer is not None and shard_records:
+            # Merge the workers' picklable span records (fork-surviving)
+            # under the current round span before admission begins.
+            tracer.adopt(shard_records)
         if self._pending_warnings:
             result.warnings.extend(self._pending_warnings)
             self._pending_warnings.clear()
@@ -388,23 +446,48 @@ class ParallelChaseEngine(ChaseEngine):
         # Stage 3: single-writer admission, in deterministic (rule, shard)
         # order, staging derived facts in a write batch.  Aggregate rules
         # are interleaved here, in program order, against the live store.
+        admission_span = None
+        if tracer is not None:
+            admission_span = tracer.begin(
+                "admission", f"admission:{round_index}", round=round_index
+            )
         batch = store.write_batch()
         new_nodes: List[ChaseNode] = []
         match_counts = [0] * n_shards
         spec_index = 0
         try:
             for rule in self.program.rules:
-                if rule.aggregate is not None:
-                    # Make staged facts visible to the live matcher first.
-                    batch.apply()
-                    produced = self._apply_rule(rule, store, node_of, {}, round_index, result)
-                else:
-                    rule_matches = [per_shard[shard][spec_index] for shard in range(n_shards)]
-                    spec_index += 1
-                    produced = self._admit_rule(
-                        rule, rule_matches, store, batch, node_of, round_index, result,
-                        match_counts,
+                rule_span = None
+                candidates_before = 0
+                if tracer is not None:
+                    label = rule.label or "rule"
+                    rule_span = tracer.begin(
+                        "rule", f"rule:{label}", rule=label, round=round_index
                     )
+                    candidates_before = result.candidate_facts
+                try:
+                    if rule.aggregate is not None:
+                        # Make staged facts visible to the live matcher first.
+                        batch.apply()
+                        produced = self._apply_rule(rule, store, node_of, {}, round_index, result)
+                    else:
+                        rule_matches = [per_shard[shard][spec_index] for shard in range(n_shards)]
+                        spec_index += 1
+                        produced = self._admit_rule(
+                            rule, rule_matches, store, batch, node_of, round_index, result,
+                            match_counts,
+                        )
+                except BaseException as exc:
+                    if rule_span is not None:
+                        tracer.end(rule_span, status="error", error=repr(exc))
+                    raise
+                if rule_span is not None:
+                    fires = len(produced)
+                    candidates = result.candidate_facts - candidates_before
+                    rule_span.counters["fires"] = fires
+                    rule_span.counters["candidates"] = candidates
+                    rule_span.counters["deduped"] = candidates - fires
+                    tracer.end(rule_span)
                 new_nodes.extend(produced)
                 if self.config.max_facts is not None and len(batch) > self.config.max_facts:
                     raise ChaseLimitError(
@@ -417,6 +500,10 @@ class ParallelChaseEngine(ChaseEngine):
             batch.apply()
             raise
         batch.apply()
+        if tracer is not None:
+            admission_span.counters["matches"] = sum(match_counts)
+            admission_span.counters["admitted"] = len(new_nodes)
+            tracer.end(admission_span)
 
         seed_total = sum(partitioner.seed_counts)
         busiest = max(match_counts) if match_counts else 0
@@ -440,52 +527,64 @@ class ParallelChaseEngine(ChaseEngine):
         specs: List[Tuple[Rule, object, List[List[List[Fact]]]]],
         round_index: int,
         n_shards: int,
-    ) -> List[List[List[Tuple]]]:
-        """Run the matching stage; returns per-shard, per-spec match lists."""
+    ) -> Tuple[List[List[List[Tuple]]], List[Dict[str, object]]]:
+        """Run the matching stage; returns per-shard, per-spec match lists
+        plus the workers' span records (empty when untraced)."""
+        traced = self.tracer is not None
         entries = [(plan, seed_shards) for _rule, plan, seed_shards in specs]
         if not entries:
-            return [[] for _ in range(n_shards)]
+            return [[] for _ in range(n_shards)], []
         snapshot = store.snapshot()
         if n_shards == 1:
             try:
-                return [_match_entries(entries, snapshot, round_index, 0, encode=False)]
+                matched, record = _match_entries(
+                    entries, snapshot, round_index, 0, encode=False, traced=traced
+                )
             except (ExecutionStopped, ChaseLimitError):
                 raise
             except Exception as exc:
                 # Same one-retry discipline as pooled shards; a second
                 # failure on the driver is a genuine error and propagates.
                 self._record_recovery(round_index, 0, exc, "retry")
-                return [_match_entries(entries, snapshot, round_index, 0, encode=False)]
+                matched, record = _match_entries(
+                    entries, snapshot, round_index, 0, encode=False, traced=traced
+                )
+            return [matched], [record] if record is not None else []
         if self.backend == "fork":
-            return self._match_phase_fork(entries, snapshot, round_index, n_shards)
+            return self._match_phase_fork(entries, snapshot, round_index, n_shards, traced)
         pool = self._ensure_thread_pool()
         futures = [
-            pool.submit(_match_entries, entries, snapshot, round_index, shard, False)
+            pool.submit(_match_entries, entries, snapshot, round_index, shard, False, traced)
             for shard in range(n_shards)
         ]
         results: List[List[List[Tuple]]] = []
+        records: List[Dict[str, object]] = []
         for shard, future in enumerate(futures):
             try:
-                results.append(future.result(timeout=self.worker_timeout))
+                matched, record = future.result(timeout=self.worker_timeout)
             except (ExecutionStopped, ChaseLimitError):
                 raise
             except Exception as exc:
                 if isinstance(exc, (TimeoutError, FuturesTimeoutError)):
                     self._had_worker_timeout = True
-                results.append(
-                    self._recover_thread_shard(
-                        pool, entries, snapshot, round_index, shard, exc
-                    )
+                matched, record = self._recover_thread_shard(
+                    pool, entries, snapshot, round_index, shard, exc, traced
                 )
-        return results
+            results.append(matched)
+            if record is not None:
+                records.append(record)
+        return results, records
 
     def _recover_thread_shard(
-        self, pool, entries, reader, round_index: int, shard: int, exc: Exception
-    ) -> List[List[Tuple]]:
+        self, pool, entries, reader, round_index: int, shard: int, exc: Exception,
+        traced: bool,
+    ) -> Tuple[List[List[Tuple]], Optional[Dict[str, object]]]:
         """Retry a failed/hung thread shard once, then degrade to the driver."""
         self._record_recovery(round_index, shard, exc, "retry")
         try:
-            future = pool.submit(_match_entries, entries, reader, round_index, shard, False)
+            future = pool.submit(
+                _match_entries, entries, reader, round_index, shard, False, traced
+            )
             return future.result(timeout=self.worker_timeout)
         except (ExecutionStopped, ChaseLimitError):
             raise
@@ -495,11 +594,13 @@ class ParallelChaseEngine(ChaseEngine):
             self._record_recovery(round_index, shard, retry_exc, "sequential")
             # Last resort: run the shard on the driver.  A failure here is a
             # genuine error (same code, same inputs) and propagates.
-            return _match_entries(entries, reader, round_index, shard, encode=False)
+            return _match_entries(
+                entries, reader, round_index, shard, encode=False, traced=traced
+            )
 
     def _match_phase_fork(
-        self, entries, snapshot, round_index: int, n_shards: int
-    ) -> List[List[List[Tuple]]]:
+        self, entries, snapshot, round_index: int, n_shards: int, traced: bool
+    ) -> Tuple[List[List[List[Tuple]]], List[Dict[str, object]]]:
         """One forked process pool per batched delta round.
 
         Children inherit the snapshot (and everything reachable from it)
@@ -511,7 +612,7 @@ class ParallelChaseEngine(ChaseEngine):
         """
         context = multiprocessing.get_context("fork")
         token = next(_FORK_TOKENS)
-        _FORK_STATE[token] = (entries, snapshot, round_index)
+        _FORK_STATE[token] = (entries, snapshot, round_index, traced)
         pool = ProcessPoolExecutor(max_workers=n_shards, mp_context=context)
         clean_exit = False
         try:
@@ -520,26 +621,29 @@ class ParallelChaseEngine(ChaseEngine):
                 for shard in range(n_shards)
             ]
             results: List[List[List[Tuple]]] = []
+            records: List[Dict[str, object]] = []
             for shard, future in enumerate(futures):
                 try:
-                    results.append(future.result(timeout=self.worker_timeout))
+                    matched, record = future.result(timeout=self.worker_timeout)
                 except (ExecutionStopped, ChaseLimitError):
                     raise
                 except Exception as exc:
-                    results.append(
-                        self._recover_fork_shard(
-                            pool, token, entries, snapshot, round_index, shard, exc
-                        )
+                    matched, record = self._recover_fork_shard(
+                        pool, token, entries, snapshot, round_index, shard, exc, traced
                     )
+                results.append(matched)
+                if record is not None:
+                    records.append(record)
             clean_exit = True
-            return results
+            return results, records
         finally:
             self._shutdown_fork_pool(pool, force=not clean_exit)
             _FORK_STATE.pop(token, None)
 
     def _recover_fork_shard(
-        self, pool, token: int, entries, reader, round_index: int, shard: int, exc: Exception
-    ) -> List[List[Tuple]]:
+        self, pool, token: int, entries, reader, round_index: int, shard: int,
+        exc: Exception, traced: bool,
+    ) -> Tuple[List[List[Tuple]], Optional[Dict[str, object]]]:
         """Retry a crashed fork shard once, then degrade to the driver.
 
         Driver-side degradation keeps ``encode=True`` (the parent resolves
@@ -557,7 +661,7 @@ class ParallelChaseEngine(ChaseEngine):
             except Exception as retry_exc:
                 exc = retry_exc
         self._record_recovery(round_index, shard, exc, "sequential")
-        return _match_entries(entries, reader, round_index, shard, encode=True)
+        return _match_entries(entries, reader, round_index, shard, encode=True, traced=traced)
 
     @staticmethod
     def _shutdown_fork_pool(pool: ProcessPoolExecutor, force: bool) -> None:

@@ -59,6 +59,7 @@ from ..core.limits import (
     ExecutionGovernor,
     ExecutionStopped,
 )
+from ..obs.trace import activate
 from ..testing.faults import fault_point
 from ..core.rules import DOM_PREDICATE, Program, Rule
 from ..core.termination import TerminationStrategy
@@ -123,7 +124,9 @@ class _Context:
         buffers: BufferCache,
         config: ChaseConfig,
         stats: PipelineStats,
+        tracer=None,
     ) -> None:
+        self.tracer = tracer
         self.engine = engine
         self.result = result
         self.store: FactStore = result.store
@@ -209,6 +212,7 @@ class _Context:
                 # its whole upstream cone is dry; re-entering it would repeat
                 # an identical traversal.  Without this memo the retry traffic
                 # grows multiplicatively with pipeline depth.
+                sched.record_barren_skip(consumer.name, producer.name)
                 sched.record_real_miss(consumer.name, producer.name)
                 return None
             if not producer.produce(sched):
@@ -293,6 +297,16 @@ class RuleFilterNode(PipelineNode):
         self.wrapper = wrapper
         self.cursors: List[_Cursor] = []
         self._rr = 0
+        # Tracing accumulators (only written on the traced path): per-sweep
+        # spans would be far too many, so the filter accumulates its busy
+        # time and counters here and ``PipelineExecutor._finish`` emits one
+        # summary "rule" span per filter spanning [t_first, t_last].
+        self.busy_seconds = 0.0
+        self.consumed = 0
+        self.fires = 0
+        self.candidates = 0
+        self.t_first: Optional[float] = None
+        self.t_last: Optional[float] = None
         # The compiled executor contributes its positional admission checks
         # and most-selective-bucket probe over the store's dynamic indexes.
         self._executor = CompiledRuleExecutor(plan)
@@ -329,7 +343,10 @@ class RuleFilterNode(PipelineNode):
                     if fact is None:
                         continue
                     pulled_any = True
-                    self._consume(fact)
+                    if ctx.tracer is None:
+                        self._consume(fact)
+                    else:
+                        self._consume_traced(fact)
                     if len(self.buffer) > emitted_mark:
                         return True
                 if not pulled_any:
@@ -340,6 +357,25 @@ class RuleFilterNode(PipelineNode):
                     return False
         finally:
             sched.leave(self.name)
+
+    def _consume_traced(self, fact: Fact) -> None:
+        """Traced wrapper of :meth:`_consume`: accumulate busy time and the
+        candidate/fire deltas (bulk, never per match) for the summary span."""
+        result = self.ctx.result
+        candidates_before = result.candidate_facts
+        steps_before = result.chase_steps
+        t0 = time.perf_counter()
+        try:
+            self._consume(fact)
+        finally:
+            t1 = time.perf_counter()
+            self.busy_seconds += t1 - t0
+            self.consumed += 1
+            self.candidates += result.candidate_facts - candidates_before
+            self.fires += result.chase_steps - steps_before
+            if self.t_first is None:
+                self.t_first = t0
+            self.t_last = t1
 
     # -- incremental evaluation ------------------------------------------------
     def _consume(self, fact: Fact) -> None:
@@ -498,6 +534,7 @@ class PipelineExecutor:
         max_pages_per_segment: int = 64,
         eviction_policy: str = "lru",
         record_events: bool = True,
+        tracer=None,
     ) -> None:
         self.program = program
         self.outputs = list(outputs)
@@ -505,6 +542,13 @@ class PipelineExecutor:
         self.stats = PipelineStats()
         self.sched = PullScheduler(record_events=record_events)
         self.finished = False
+        self.tracer = tracer
+        #: Construction time, stamped as the ``t_create`` attribute of the
+        #: streaming "chase" span; the span itself (and ``timings["chase"]``)
+        #: starts at the *first pull* (``t_first_pull``) — streaming runs are
+        #: lazy by design.
+        self.created_at = time.perf_counter()
+        self._chase_span = None
 
         # The chase kernel supplies firing semantics (assignments, nulls,
         # aggregates, Dom guards) plus the deferred EGD/constraint checks;
@@ -532,7 +576,9 @@ class PipelineExecutor:
             policy=eviction_policy,
         )
         self.buffers = buffers
-        self.ctx = _Context(engine, self.result, buffers, self.config, self.stats)
+        self.ctx = _Context(
+            engine, self.result, buffers, self.config, self.stats, tracer=tracer
+        )
         self.registry = WrapperRegistry(strategy)
 
         # ---- query-driven relevance pruning --------------------------------
@@ -624,6 +670,17 @@ class PipelineExecutor:
             governor = ExecutionGovernor.for_config(self.config)
             self.ctx.governor = governor
             self.sched.governor = governor
+            tracer = self.tracer
+            if tracer is not None:
+                if governor is not None:
+                    governor.tracer = tracer
+                self._chase_span = tracer.begin(
+                    "chase",
+                    "chase:streaming",
+                    executor="streaming",
+                    t_create=self.created_at,
+                    t_first_pull=self.ctx.started_at,
+                )
 
     def _check_budget(self) -> bool:
         """Sweep-boundary budget check; True when the run must stop."""
@@ -650,6 +707,14 @@ class PipelineExecutor:
 
     def _drive_once(self) -> bool:
         """One driver sweep: give every sink a pull; False at the fixpoint."""
+        if self.tracer is None:
+            return self._drive_once_inner()
+        # Activate the tracer around the sweep so lazily-evaluated datasource
+        # scan generators (which outlive any single phase span) can find it.
+        with activate(self.tracer):
+            return self._drive_once_inner()
+
+    def _drive_once_inner(self) -> bool:
         self._ensure_started()
         if self._check_budget():
             return False
@@ -684,6 +749,51 @@ class PipelineExecutor:
         self.result.extra_stats.update(extra)
         if len(self.ctx.store) > self.result.peak_resident_facts:
             self.result.peak_resident_facts = len(self.ctx.store)
+        tracer = self.tracer
+        if tracer is not None and self._chase_span is not None:
+            chase_span = self._chase_span
+            # One summary "rule" span per active filter, spanning its
+            # [first, last] activity window; the accumulated busy time rides
+            # along as a counter (the report prefers it over the window).
+            for node in self.filters:
+                if node.consumed == 0 and node.fires == 0:
+                    continue
+                label = node.rule.label or "rule"
+                t0 = node.t_first if node.t_first is not None else chase_span.t_start
+                t1 = node.t_last if node.t_last is not None else t0
+                tracer.emit(
+                    "rule",
+                    f"rule:{label}",
+                    t0,
+                    t1,
+                    parent=chase_span,
+                    attrs={"rule": label, "node": node.name},
+                    counters={
+                        "fires": node.fires,
+                        "candidates": node.candidates,
+                        "deduped": node.candidates - node.fires,
+                        "consumed": node.consumed,
+                        "busy_seconds": node.busy_seconds,
+                    },
+                )
+            metrics = tracer.metrics
+            for key, value in self.sched.stats().items():
+                metrics.counter(f"pull.{key}").inc(value)
+                chase_span.counters[f"pull.{key}"] = value
+            metrics.counter("buffer.evictions").inc(self.buffers.total_evictions())
+            metrics.gauge("chase.peak_resident_facts").set_max(
+                self.result.peak_resident_facts
+            )
+            chase_span.counters["facts"] = len(self.ctx.store)
+            chase_span.counters["derived"] = self.result.chase_steps
+            chase_span.counters["candidates"] = self.result.candidate_facts
+            chase_span.counters["rounds"] = self.stats.sweeps
+            chase_span.counters["peak_resident_facts"] = self.result.peak_resident_facts
+            chase_span.attrs["status"] = self.result.status
+            if self.result.stop_reason:
+                chase_span.attrs["stop_reason"] = self.result.stop_reason
+            tracer.unwind(chase_span)
+            tracer.end(chase_span)
 
     # ------------------------------------------------------------------ answers
     def first_answer(self) -> Optional[Fact]:
@@ -717,6 +827,12 @@ class PipelineExecutor:
 
     def run_to_completion(self) -> ChaseResult:
         """Drain the pipeline to the fixpoint and return the chase result."""
+        if self.tracer is None:
+            return self._run_to_completion_inner()
+        with activate(self.tracer):
+            return self._run_to_completion_inner()
+
+    def _run_to_completion_inner(self) -> ChaseResult:
         self._ensure_started()
         while not self.finished:
             if self._check_budget():

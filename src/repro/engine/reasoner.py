@@ -66,6 +66,8 @@ from ..core.terms import Constant
 from ..core.termination import TerminationStrategy, strategy_by_name
 from ..core.transform import is_auxiliary_predicate, normalize_for_chase
 from ..core.wardedness import ProgramAnalysis, analyse_program
+from ..obs.report import render_report
+from ..obs.trace import Tracer, activate, as_tracer
 from ..storage.database import Database
 from .annotations import (
     BindingSet,
@@ -116,17 +118,30 @@ class ReasoningResult:
     scheduler: SchedulerReport
     harmful_join_rewriting: Optional[HarmfulJoinEliminationResult]
     warnings: List[str] = field(default_factory=list)
+    #: Coarse per-phase wall-clock seconds (``rewrite``/``load``/``chase``/
+    #: ``answers``/``total``).  Streaming runs measure ``chase`` from the
+    #: *first pull* (the pipeline is lazy — nothing runs at build time);
+    #: the trace's chase span records both clocks as ``t_create`` and
+    #: ``t_first_pull`` attrs.  Thin legacy view: traced runs carry the same
+    #: phases as spans on :attr:`trace` — prefer :meth:`run_report`.
     timings: Dict[str, float] = field(default_factory=dict)
     #: The live streaming pipeline (lazy runs and eager streaming runs).
     pipeline: Optional[PipelineExecutor] = None
     #: Per-predicate datasource counters (``@bind`` traffic: rows scanned,
     #: pushdown applied, cache hits, rows written back).  Empty when the run
-    #: used no external bindings.
+    #: used no external bindings.  Thin legacy view: traced runs record each
+    #: completed scan as a ``source-scan`` span with the same counters.
     source_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: Per-round shard-balance statistics of the parallel executor: one dict
     #: per chase round with the per-shard seed-fact and match counts and the
     #: busiest-to-mean imbalance ratio.  Empty on the other executors.
+    #: Thin legacy view: traced runs carry per-shard ``shard-match`` spans
+    #: (with worker pids) under each round span.
     shard_balance: List[Dict[str, object]] = field(default_factory=list)
+    #: The run's telemetry (:class:`repro.obs.Tracer`) when the run was
+    #: started with ``trace=``; ``None`` otherwise.  Spans are in
+    #: ``trace.spans()``, aggregated counters in ``trace.metrics``.
+    trace: Optional[Tracer] = None
     #: The magic-set rewriting applied to this run (``reason(query=...,
     #: rewrite="magic")``), including guard/fallback/seed counters; ``None``
     #: on runs without a query or with ``rewrite="none"``.
@@ -210,6 +225,15 @@ class ReasoningResult:
         if self.magic_rewriting is not None:
             data.update(self.magic_rewriting.stats())
         return data
+
+    def run_report(self, limit: int = 5) -> str:
+        """Human-readable run summary (phases, top rules, rounds, sources).
+
+        Traced runs (``reason(trace=...)``) render the full span tree
+        aggregates; untraced runs fall back to a coarse summary built from
+        :meth:`stats` and :attr:`timings`.
+        """
+        return render_report(self, limit=limit)
 
 
 @dataclass
@@ -339,6 +363,7 @@ class VadalogReasoner:
         deadline: Optional[float] = None,
         budget: Optional[ExecutionBudget] = None,
         cancel: Optional[CancellationToken] = None,
+        trace: object = None,
     ) -> ReasoningResult:
         """Run the reasoning task and return answers plus diagnostics.
 
@@ -362,29 +387,98 @@ class VadalogReasoner:
         derived so far, instead of raising.  ``deadline`` is shorthand for
         ``budget=ExecutionBudget(deadline_seconds=...)`` and overrides the
         budget's own deadline when both are given.
+
+        ``trace`` opts the run into the telemetry layer of :mod:`repro.obs`:
+        ``True`` records spans in memory (inspect via ``result.trace`` /
+        ``result.run_report()``), a path string writes a JSONL trace file, a
+        ready-made :class:`repro.obs.Tracer` is used as-is.  The default
+        ``None`` is the zero-overhead null tracer — the run is bit-identical
+        to an untraced one.
         """
+        tracer = as_tracer(trace)
+        if tracer is None:
+            return self._reason_impl(
+                database, outputs, certain, strategy, query, rewrite,
+                deadline, budget, cancel, tracer=None,
+            )
+        run_span = tracer.begin(
+            "run",
+            f"reason:{self.executor}",
+            executor=self.executor,
+            query=str(query) if query is not None else None,
+        )
+        try:
+            with activate(tracer):
+                result = self._reason_impl(
+                    database, outputs, certain, strategy, query, rewrite,
+                    deadline, budget, cancel, tracer=tracer,
+                )
+        except BaseException as exc:
+            tracer.end(run_span, status="error", error=repr(exc))
+            tracer.finish()
+            raise
+        chase = result.chase
+        run_span.counters["facts"] = len(chase.store)
+        run_span.counters["derived"] = chase.chase_steps
+        run_span.counters["rounds"] = chase.rounds
+        run_span.counters["peak_resident_facts"] = chase.peak_resident_facts
+        run_span.attrs["status"] = chase.status
+        if chase.stop_reason is not None:
+            run_span.attrs["stop_reason"] = chase.stop_reason
+        tracer.end(run_span)
+        tracer.finish()
+        result.trace = tracer
+        return result
+
+    def _reason_impl(
+        self,
+        database: DatabaseLike,
+        outputs: Optional[Iterable[str]],
+        certain: bool,
+        strategy: Union[str, TerminationStrategy, None],
+        query: Union[str, Atom, None],
+        rewrite: Optional[str],
+        deadline: Optional[float],
+        budget: Optional[ExecutionBudget],
+        cancel: Optional[CancellationToken],
+        tracer: Optional[Tracer],
+    ) -> ReasoningResult:
         timings: Dict[str, float] = {}
         started = time.perf_counter()
         chosen = self._resolve_strategy(strategy)
         config = self._effective_config(deadline, budget, cancel)
+        rewrite_span = tracer.begin("rewrite", "rewrite") if tracer is not None else None
         spec = self._prepare_run(outputs, query, rewrite)
+        if rewrite_span is not None:
+            rewrite_span.attrs["magic"] = bool(
+                spec.rewriting is not None and spec.rewriting.changed
+            )
+            tracer.end(rewrite_span)
         timings["rewrite"] = time.perf_counter() - started
         output_predicates = spec.outputs
         bindings = self._collect_bindings(output_predicates)
 
         if self.executor == "streaming":
+            load_span = tracer.begin("load", "load") if tracer is not None else None
             pipeline = self._build_pipeline(
-                database, bindings, chosen, output_predicates, spec, config=config
+                database, bindings, chosen, output_predicates, spec, config=config,
+                tracer=tracer,
             )
+            if load_span is not None:
+                tracer.end(load_span)
             timings["load"] = time.perf_counter() - started
             chase_started = time.perf_counter()
             chase_result = pipeline.run_to_completion()
             timings["chase"] = time.perf_counter() - chase_started
         else:
             pipeline = None
+            load_span = tracer.begin("load", "load") if tracer is not None else None
             facts = list(self._database_facts(database))
             facts.extend(load_bound_facts(bindings))
             facts.extend(spec.seeds)
+            if load_span is not None:
+                load_span.counters["facts"] = len(facts)
+                tracer.end(load_span)
             timings["load"] = time.perf_counter() - started
 
             registry = WrapperRegistry(chosen)
@@ -405,6 +499,7 @@ class VadalogReasoner:
                     parallelism=self.parallelism,
                     backend=self.parallel_backend,
                     worker_timeout=self.parallel_worker_timeout,
+                    tracer=tracer,
                 )
             else:
                 engine = ChaseEngine(
@@ -415,11 +510,13 @@ class VadalogReasoner:
                     config=config,
                     executor=self.executor,
                     join_plans=spec.join_plans,
+                    tracer=tracer,
                 )
             chase_result = engine.run()
             timings["chase"] = time.perf_counter() - chase_started
 
         answer_started = time.perf_counter()
+        answers_span = tracer.begin("answers", "answers") if tracer is not None else None
         query_spec = Query(tuple(output_predicates), certain=certain)
         answers = extract_answers(chase_result, query_spec)
         answers = apply_post_directives(answers, bindings.post_directives)
@@ -427,6 +524,11 @@ class VadalogReasoner:
             answers = _filter_answers(answers, spec.query_atom)
         else:
             write_output_bindings(bindings, answers, output_predicates)
+        if answers_span is not None:
+            answers_span.counters["answers"] = sum(
+                len(facts) for facts in answers.facts_by_predicate.values()
+            )
+            tracer.end(answers_span)
         timings["answers"] = time.perf_counter() - answer_started
         if chase_result.first_answer_seconds is not None:
             timings["first_answer"] = chase_result.first_answer_seconds
@@ -460,6 +562,7 @@ class VadalogReasoner:
         deadline: Optional[float] = None,
         budget: Optional[ExecutionBudget] = None,
         cancel: Optional[CancellationToken] = None,
+        trace: object = None,
     ) -> ReasoningResult:
         """Start a lazy streaming run: nothing is evaluated until pulled.
 
@@ -472,16 +575,34 @@ class VadalogReasoner:
         pulls through the rewritten program, so a bound first answer touches
         only the demanded slice of the data.  ``deadline``/``budget``/
         ``cancel`` bound the run as in :meth:`reason`; the deadline clock
-        starts at the first pull, not at this call.
+        starts at the first pull, not at this call.  ``trace`` behaves as in
+        :meth:`reason`; the trace is finalized when the run is drained
+        (``complete()`` or an exhausted ``iter_answers()``), and the chase
+        span records both the build and the first-pull clock (``t_create``
+        and ``t_first_pull`` attrs).
         """
+        tracer = as_tracer(trace)
+        run_span = (
+            tracer.begin("run", "stream:streaming", executor="streaming",
+                         query=str(query) if query is not None else None)
+            if tracer is not None
+            else None
+        )
         chosen = self._resolve_strategy(strategy)
         config = self._effective_config(deadline, budget, cancel)
+        rewrite_span = tracer.begin("rewrite", "rewrite") if tracer is not None else None
         spec = self._prepare_run(outputs, query, rewrite)
+        if rewrite_span is not None:
+            tracer.end(rewrite_span)
         output_predicates = spec.outputs
         bindings = self._collect_bindings(output_predicates)
+        load_span = tracer.begin("load", "load") if tracer is not None else None
         pipeline = self._build_pipeline(
-            database, bindings, chosen, output_predicates, spec, config=config
+            database, bindings, chosen, output_predicates, spec, config=config,
+            tracer=tracer,
         )
+        if load_span is not None:
+            tracer.end(load_span)
 
         def finalize(result: ReasoningResult) -> None:
             query_spec = Query(tuple(output_predicates), certain=certain)
@@ -499,6 +620,17 @@ class VadalogReasoner:
             if pipeline.result.first_answer_seconds is not None:
                 result.timings["first_answer"] = pipeline.result.first_answer_seconds
             result.timings["total"] = pipeline.result.elapsed_seconds
+            if tracer is not None and run_span is not None:
+                chase = pipeline.result
+                run_span.counters["facts"] = len(chase.store)
+                run_span.counters["derived"] = chase.chase_steps
+                run_span.counters["rounds"] = chase.rounds
+                run_span.counters["peak_resident_facts"] = chase.peak_resident_facts
+                run_span.attrs["status"] = chase.status
+                if chase.stop_reason is not None:
+                    run_span.attrs["stop_reason"] = chase.stop_reason
+                tracer.end(run_span)
+                tracer.finish()
 
         return ReasoningResult(
             answers=AnswerSet(),
@@ -511,6 +643,7 @@ class VadalogReasoner:
             timings={},
             pipeline=pipeline,
             magic_rewriting=spec.rewriting,
+            trace=tracer,
             _finalizer=finalize,
         )
 
@@ -653,6 +786,7 @@ class VadalogReasoner:
         output_predicates: Sequence[str],
         spec: Optional[_RunSpec] = None,
         config: Optional[ChaseConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> PipelineExecutor:
         """Assemble the streaming pipeline for one run.
 
@@ -690,6 +824,7 @@ class VadalogReasoner:
             analysis=analysis,
             config=config if config is not None else self.chase_config,
             join_plans=join_plans,
+            tracer=tracer,
         )
 
     @staticmethod
@@ -783,6 +918,7 @@ def reason(
     deadline: Optional[float] = None,
     budget: Optional[ExecutionBudget] = None,
     cancel: Optional[CancellationToken] = None,
+    trace: object = None,
 ) -> ReasoningResult:
     """One-call helper: build a :class:`VadalogReasoner` and run it."""
     reasoner = VadalogReasoner(
@@ -801,4 +937,5 @@ def reason(
         deadline=deadline,
         budget=budget,
         cancel=cancel,
+        trace=trace,
     )

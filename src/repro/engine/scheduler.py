@@ -153,6 +153,10 @@ class PullScheduler:
         self.hits = 0
         self.cyclic_misses = 0
         self.real_misses = 0
+        #: Real misses answered from the barren-node memo (the producer had
+        #: already proved its upstream cone dry at the current progress
+        #: level) — a sub-count of ``real_misses``.
+        self.barren_skips = 0
         self._stack: List[str] = []
         self._on_stack: Set[str] = set()
 
@@ -198,10 +202,16 @@ class PullScheduler:
         self.real_misses += 1
         self._record(caller, callee, "real-miss")
 
+    def record_barren_skip(self, caller: str, callee: str) -> None:
+        """Count a real miss served by the barren memo (no event: the
+        follow-up :meth:`record_real_miss` records the classification)."""
+        self.barren_skips += 1
+
     def stats(self) -> Dict[str, int]:
         return {
             "next_calls": self.next_calls,
             "hits": self.hits,
             "cyclic_misses": self.cyclic_misses,
             "real_misses": self.real_misses,
+            "barren_skips": self.barren_skips,
         }

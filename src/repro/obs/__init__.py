@@ -1,0 +1,55 @@
+"""Zero-dependency observability layer: span tracing, metrics, exports.
+
+See :mod:`repro.obs.trace` for the span/tracer model,
+:mod:`repro.obs.metrics` for the counter/gauge/histogram registry,
+:mod:`repro.obs.export` for JSONL / Chrome-Perfetto export, and
+:mod:`repro.obs.report` for the human-readable ``run_report()`` renderer.
+"""
+
+from .export import TraceDump, load_jsonl, to_perfetto, write_perfetto
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    aggregate_rules,
+    render_report,
+    render_trace,
+    round_rows,
+    source_rows,
+    top_rules,
+)
+from .trace import (
+    SPAN_KINDS,
+    JsonlTraceSink,
+    RingBufferSink,
+    Span,
+    TraceSink,
+    Tracer,
+    activate,
+    as_tracer,
+    get_tracer,
+)
+
+__all__ = (
+    "SPAN_KINDS",
+    "Span",
+    "Tracer",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonlTraceSink",
+    "as_tracer",
+    "activate",
+    "get_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceDump",
+    "load_jsonl",
+    "to_perfetto",
+    "write_perfetto",
+    "aggregate_rules",
+    "top_rules",
+    "round_rows",
+    "source_rows",
+    "render_trace",
+    "render_report",
+)

@@ -57,6 +57,7 @@ from typing import (
     Union,
 )
 
+from ..obs.trace import get_tracer
 from ..testing.faults import fault_point
 from .database import Database
 
@@ -312,6 +313,11 @@ class DataSource:
             pushdown = None
         key = pushdown.key() if pushdown is not None else ()
         self.stats.scans += 1
+        # The active tracer is looked up at first pull (the generator may be
+        # created long before it is iterated) and the span is emitted when
+        # the scan completes; abandoned scans (early-stop pulls) emit none.
+        tracer = get_tracer()
+        t_start = time.perf_counter() if tracer is not None else 0.0
         cached = self._cache.get(key)
         if cached is not None:
             self.stats.cache_served_scans += 1
@@ -320,8 +326,19 @@ class DataSource:
                 for row in page:
                     self.stats.rows_emitted += 1
                     yield row
+            if tracer is not None:
+                self._emit_scan_span(
+                    tracer,
+                    t_start,
+                    emitted=sum(len(page) for page in cached),
+                    scanned=0,
+                    cache_served=True,
+                    pushdown=pushdown,
+                )
             return
         self.stats.page_misses += 1
+        scanned_before = self.stats.rows_scanned
+        emitted_before = self.stats.rows_emitted
         # Buffer for cache admission only while the result can still fit the
         # page budget; a scan larger than the whole cache is streamed through
         # without being retained (the memory bound stays the cache budget).
@@ -336,6 +353,45 @@ class DataSource:
             yield row
         if rows is not None:
             self._cache.put(key, rows, self.stats)
+        if tracer is not None:
+            self._emit_scan_span(
+                tracer,
+                t_start,
+                emitted=self.stats.rows_emitted - emitted_before,
+                scanned=self.stats.rows_scanned - scanned_before,
+                cache_served=False,
+                pushdown=pushdown,
+            )
+
+    def _emit_scan_span(
+        self,
+        tracer,
+        t_start: float,
+        emitted: int,
+        scanned: int,
+        cache_served: bool,
+        pushdown: Optional[Pushdown],
+    ) -> None:
+        """Record one completed scan as a ``source-scan`` span.
+
+        Parented to the run root rather than the current phase span: lazy
+        scan generators routinely outlive the phase that first pulled them,
+        and root-parenting keeps the span-nesting invariant intact.
+        """
+        tracer.emit(
+            "source-scan",
+            f"scan:{self.predicate}",
+            t_start,
+            time.perf_counter(),
+            parent=tracer.root,
+            attrs={
+                "predicate": self.predicate,
+                "backend": self.kind,
+                "cache_served": cache_served,
+                "pushdown": pushdown.describe() if pushdown is not None else None,
+            },
+            counters={"rows_emitted": emitted, "rows_scanned": scanned},
+        )
 
     def _scan_resilient(self, pushdown: Optional[Pushdown]) -> Iterator[Tuple[object, ...]]:
         """Backend scan wrapped in retry-with-exponential-backoff.
@@ -367,12 +423,37 @@ class DataSource:
                 attempt += 1
                 if attempt > policy.attempts:
                     self.stats.retry_giveups += 1
+                    self._emit_retry_span(exc, attempt, "giveup")
                     raise DataSourceError(
                         f"{self.kind} source for {self.predicate!r} failed after "
                         f"{attempt} attempts: {exc}"
                     ) from exc
                 self.stats.retries += 1
+                self._emit_retry_span(exc, attempt, "retry")
                 time.sleep(policy.delay_for(attempt))
+
+    def _emit_retry_span(self, exc: BaseException, attempt: int, action: str) -> None:
+        """Record one absorbed retry (or final giveup) as an error-tagged span."""
+        tracer = get_tracer()
+        if tracer is None:
+            return
+        now = time.perf_counter()
+        tracer.emit(
+            "source-retry",
+            f"retry:{self.predicate}",
+            now,
+            now,
+            parent=tracer.root,
+            attrs={
+                "predicate": self.predicate,
+                "backend": self.kind,
+                "attempt": attempt,
+                "action": action,
+            },
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        tracer.metrics.counter("source.retries").inc()
 
     def _scan_rows(self, pushdown: Optional[Pushdown]) -> Iterator[Tuple[object, ...]]:
         raise NotImplementedError

@@ -21,6 +21,13 @@ Usage::
     python tools/check_bench.py --executor compiled parallel
     python tools/check_bench.py --executor compiled --update-baseline
     python tools/check_bench.py --executor compiled --inject-slowdown 2.0  # self-test
+    python tools/check_bench.py --trace-overhead --executor compiled streaming
+
+``--trace-overhead`` switches the gate to the telemetry-overhead check of
+the observability layer: every smoke scenario is run untraced and with
+``trace=True`` (interleaved pairs, median of ``--runs``) and the gate
+fails when any traced median exceeds the untraced one by more than
+``--trace-threshold`` (default 10%) *and* ``--min-abs-slack`` seconds.
 
 ``--inject-slowdown F`` multiplies every measured median by ``F`` before
 the comparison; it exists to prove the gate trips (the CI wiring is only
@@ -69,6 +76,89 @@ def calibrate(runs: int = 3) -> float:
     if accumulator < 0:  # pragma: no cover - keeps the loop un-eliminable
         raise AssertionError
     return statistics.median(samples)
+
+
+def measure_trace_overhead(executors, runs: int, only=None) -> dict:
+    """Paired traced/untraced smoke medians per (scenario, executor).
+
+    The pairs are sampled interleaved (untraced, traced, untraced, ...) so a
+    machine-speed drift during the run hits both sides equally.  No
+    committed baseline is involved — the untraced run *is* the baseline, so
+    the comparison needs no calibration either.
+    """
+    scenarios = {}
+    for name, (_figure, _heavy, _recursive, _full, smoke) in run_all.SCENARIOS.items():
+        if only and name not in only:
+            continue
+        row = {}
+        for executor in executors:
+            kwargs = {"parallelism": GATE_PARALLELISM} if executor == "parallel" else {}
+            untraced, traced = [], []
+            for _ in range(runs):
+                untraced.append(
+                    run_all.run_one(smoke, executor, **kwargs)["elapsed_seconds"]
+                )
+                traced.append(
+                    run_all.run_one(smoke, executor, trace=True, **kwargs)[
+                        "elapsed_seconds"
+                    ]
+                )
+            row[executor] = {
+                "untraced": round(statistics.median(untraced), 4),
+                "traced": round(statistics.median(traced), 4),
+            }
+            print(
+                f"   {name} [{executor}]: untraced {row[executor]['untraced']:.4f}s "
+                f"traced {row[executor]['traced']:.4f}s",
+                flush=True,
+            )
+        scenarios[name] = row
+    return scenarios
+
+
+def gate_trace_overhead(args, executors) -> int:
+    """Fail when the traced smoke median exceeds the untraced one by more
+    than ``--trace-threshold`` (and more than ``--min-abs-slack`` seconds)."""
+    print(
+        f"measuring telemetry overhead (median of {args.runs}, "
+        f"allowed {round((args.trace_threshold - 1) * 100)}%)...",
+        flush=True,
+    )
+    measured = measure_trace_overhead(executors, args.runs, args.only)
+    violations = []
+    checked = 0
+    for name, row in measured.items():
+        for executor, pair in row.items():
+            checked += 1
+            untraced, traced = pair["untraced"], pair["traced"]
+            allowed = untraced * args.trace_threshold
+            status = "ok"
+            if traced > allowed and (traced - untraced) > args.min_abs_slack:
+                status = "OVERHEAD"
+                violations.append((name, executor, traced, untraced, allowed))
+            ratio = traced / untraced if untraced > 0 else float("inf")
+            print(
+                f"   {name} [{executor}]: {ratio:.3f}x "
+                f"(allowed {allowed:.4f}s) {status}"
+            )
+    if violations:
+        print(
+            f"\ntelemetry-overhead gate FAILED: {len(violations)} pair(s) beyond "
+            f"{round((args.trace_threshold - 1) * 100)}% of the untraced baseline:",
+            file=sys.stderr,
+        )
+        for name, executor, traced, untraced, allowed in violations:
+            print(
+                f"  {name} [{executor}]: traced {traced:.4f}s > allowed "
+                f"{allowed:.4f}s (untraced {untraced:.4f}s)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"\ntelemetry-overhead gate OK: {checked} (scenario, executor) pairs "
+        f"within the traced-run allowance"
+    )
+    return 0
 
 
 def measure(executors, runs: int, only=None) -> dict:
@@ -129,10 +219,27 @@ def main(argv=None) -> int:
         metavar="FACTOR",
         help="multiply measured medians by FACTOR (gate self-test)",
     )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help=(
+            "gate telemetry overhead instead of the baseline comparison: "
+            "run each smoke scenario untraced and with trace=True and fail "
+            "when the traced median exceeds --trace-threshold"
+        ),
+    )
+    parser.add_argument(
+        "--trace-threshold",
+        type=float,
+        default=1.10,
+        help="traced/untraced ratio allowed by --trace-overhead (default 1.10)",
+    )
     parser.add_argument("--only", nargs="*", default=None)
     args = parser.parse_args(argv)
 
     executors = list(dict.fromkeys(args.executor))
+    if args.trace_overhead:
+        return gate_trace_overhead(args, executors)
     print(f"calibrating ({args.runs} runs)...", flush=True)
     calibration = calibrate(args.runs)
     print(f"calibration: {calibration:.4f}s", flush=True)

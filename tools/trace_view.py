@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Render a JSONL reasoning trace (``reason(trace="run.jsonl")``) as text.
+
+Default output is the aggregate report (phases, top rules, rounds,
+sources) of :mod:`repro.obs.report`; ``--tree`` prints the span tree with
+durations and counters; ``--perfetto OUT`` converts the trace into a
+Chrome Trace Event Format file loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev.
+
+Usage::
+
+    python tools/trace_view.py run.jsonl
+    python tools/trace_view.py run.jsonl --tree
+    python tools/trace_view.py run.jsonl --perfetto run.perfetto.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.export import TraceDump, load_jsonl, write_perfetto  # noqa: E402
+from repro.obs.report import render_trace  # noqa: E402
+
+
+def _span_line(span, depth: int) -> str:
+    parts = [f"{'  ' * depth}{span.kind} {span.name}  {span.duration * 1000:.2f}ms"]
+    if span.counters:
+        counters = " ".join(f"{k}={v}" for k, v in sorted(span.counters.items()))
+        parts.append(f"[{counters}]")
+    if span.status != "ok":
+        parts.append(f"!{span.status}: {span.error or ''}".rstrip())
+    return " ".join(parts)
+
+
+def render_tree(dump: TraceDump, max_spans: int = 500) -> str:
+    """Indented span tree, children ordered by start time."""
+    lines = []
+    emitted = 0
+
+    def walk(span, depth: int) -> None:
+        nonlocal emitted
+        if emitted >= max_spans:
+            return
+        emitted += 1
+        lines.append(_span_line(span, depth))
+        for child in sorted(dump.children_of(span), key=lambda s: (s.t_start, s.span_id)):
+            walk(child, depth + 1)
+
+    for root in sorted(dump.roots(), key=lambda s: (s.t_start, s.span_id)):
+        walk(root, 0)
+    if emitted >= max_spans and len(dump.spans) > emitted:
+        lines.append(f"... {len(dump.spans) - emitted} more span(s) truncated")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file written by reason(trace=...)")
+    parser.add_argument(
+        "--tree", action="store_true", help="print the span tree instead of the report"
+    )
+    parser.add_argument(
+        "--perfetto",
+        metavar="OUT",
+        default=None,
+        help="also write a chrome://tracing / Perfetto JSON file",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=5, help="rows per report table (default 5)"
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"trace file {path} does not exist", file=sys.stderr)
+        return 2
+    dump = load_jsonl(path)
+    if not dump.spans:
+        print(f"{path} contains no spans", file=sys.stderr)
+        return 2
+
+    if args.tree:
+        print(render_tree(dump))
+    else:
+        print(render_trace(dump, limit=args.limit))
+    if dump.metrics.get("counters"):
+        counters = dump.metrics["counters"]
+        print()
+        print("metrics: " + " ".join(f"{k}={v}" for k, v in sorted(counters.items())))
+    if args.perfetto:
+        out = write_perfetto(dump, args.perfetto)
+        print(f"\nwrote {out} ({len(dump.spans)} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -459,3 +459,45 @@ def rewrite_with_magic(
     result.magic_rules = len(magic_rules)
     result.changed = True
     return result
+
+
+def unsound_variant(result: MagicRewriteResult, drop: int = 1) -> MagicRewriteResult:
+    """A deliberately broken rewriting, for translation-validation self-tests.
+
+    Removes the last ``drop`` *non-seed* demand rules from the rewritten
+    program.  Demand rules propagate relevance through rule bodies (the SIP
+    pass of :func:`rewrite_with_magic`); dropping one under-approximates the
+    demand set, so guarded rules stop firing for bindings the query can
+    still observe and certain answers go missing — exactly the class of bug
+    the :mod:`repro.verify` oracle exists to catch.  Used by the oracle
+    self-test to prove the symbolic check finds real divergences; never
+    called by the production rewrite path.
+
+    Raises :class:`MagicRewriteError` when the rewriting has no demand rules
+    to drop (nothing to break).
+    """
+    demand_labels = [
+        rule.label
+        for rule in result.program.rules
+        if rule.head and is_magic_predicate(rule.head[0].predicate) and rule.body
+    ]
+    if not demand_labels:
+        raise MagicRewriteError("rewriting has no demand rules to drop")
+    dropped = set(demand_labels[-max(1, drop):])
+    broken_program = result.program.copy()
+    broken_program.rules = [
+        rule for rule in result.program.rules if rule.label not in dropped
+    ]
+    broken = MagicRewriteResult(
+        program=broken_program,
+        query=result.query,
+        seeds=list(result.seeds),
+        adornments=dict(result.adornments),
+        guarded_rules=result.guarded_rules,
+        fallback_rules=result.fallback_rules,
+        magic_rules=result.magic_rules - len(dropped),
+        pruned_rules=result.pruned_rules,
+        changed=True,
+        reason=f"UNSOUND test variant: dropped demand rules {sorted(dropped)}",
+    )
+    return broken

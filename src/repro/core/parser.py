@@ -70,6 +70,31 @@ _TOKEN_SPEC = [
 
 _MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
 
+_ESCAPES = {"\\": "\\", '"': '"', "'": "'", "n": "\n", "t": "\t", "r": "\r"}
+_UNESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_string(token_value: str) -> str:
+    """Decode a STRING token (quotes included) into its value.
+
+    ``\\\\``, ``\\"``, ``\\'``, ``\\n``, ``\\t`` and ``\\r`` are decoded;
+    any other escaped character stands for itself (``\\x`` → ``x``).
+    """
+    body = token_value[1:-1]
+    return _UNESCAPE_RE.sub(lambda m: _ESCAPES.get(m.group(1), m.group(1)), body)
+
+
+def escape_string_literal(value: str) -> str:
+    """Render a string as a double-quoted literal that re-parses to ``value``."""
+    escaped = (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+        .replace("\r", "\\r")
+    )
+    return f'"{escaped}"'
+
 
 def _tokenize(text: str) -> List[_Token]:
     tokens: List[_Token] = []
@@ -202,7 +227,7 @@ class _Parser:
         token = self._peek()
         if token.kind == "STRING":
             self._advance()
-            return token.value[1:-1]
+            return _unescape_string(token.value)
         if token.kind == "NUMBER":
             self._advance()
             return float(token.value) if "." in token.value else int(token.value)
@@ -352,7 +377,7 @@ class _Parser:
             return Constant(value)
         if token.kind == "STRING":
             self._advance()
-            return Constant(token.value[1:-1])
+            return Constant(_unescape_string(token.value))
         if token.kind == "OP" and token.value == "*":
             self._advance()
             return Variable("_STAR")
@@ -402,7 +427,7 @@ class _Parser:
             return Literal(value)
         if token.kind == "STRING":
             self._advance()
-            return Literal(token.value[1:-1])
+            return Literal(_unescape_string(token.value))
         if token.kind == "LPAREN":
             self._advance()
             inner = self._parse_expression()
@@ -470,7 +495,7 @@ def unparse_term(term: Term) -> str:
         if isinstance(value, bool):
             raise ValueError("booleans have no literal form in the surface syntax")
         if isinstance(value, str):
-            return repr(value)
+            return escape_string_literal(value)
         if isinstance(value, (int, float)):
             rendered = repr(value)
             if "e" in rendered or "E" in rendered:
@@ -486,13 +511,60 @@ def unparse_atom(atom: Atom) -> str:
     return f"{atom.predicate}({inner})"
 
 
+def unparse_expression(expression: Expression) -> str:
+    """Render an expression so that re-parsing yields an equal expression.
+
+    Unlike ``str(expression)`` (which leans on Python's ``repr`` for string
+    literals), quoted strings go through :func:`escape_string_literal`, so
+    embedded quotes and backslashes survive the round-trip.
+    """
+    if isinstance(expression, Literal):
+        value = expression.value
+        if isinstance(value, str):
+            return escape_string_literal(value)
+        return str(expression)
+    if isinstance(expression, VariableRef):
+        return expression.variable.name
+    if isinstance(expression, UnaryOp):
+        return f"{expression.op}({unparse_expression(expression.operand)})"
+    if isinstance(expression, BinaryOp):
+        left = unparse_expression(expression.left)
+        right = unparse_expression(expression.right)
+        return f"({left} {expression.op} {right})"
+    return str(expression)
+
+
+def _unparse_condition(condition: Comparison) -> str:
+    left = unparse_expression(condition.left)
+    right = unparse_expression(condition.right)
+    return f"{left} {condition.op} {right}"
+
+
+def _unparse_assignment(assignment: Assignment) -> str:
+    return f"{assignment.variable.name} = {unparse_expression(assignment.expression)}"
+
+
+def _unparse_aggregate(aggregate: AggregateSpec) -> str:
+    inner = unparse_expression(aggregate.argument)
+    if aggregate.contributors:
+        contributors = ", ".join(v.name for v in aggregate.contributors)
+        inner += f", <{contributors}>"
+    return f"{aggregate.variable.name} = {aggregate.function}({inner})"
+
+
+def _unparse_annotation_argument(argument: object) -> str:
+    if isinstance(argument, str):
+        return escape_string_literal(argument)
+    return repr(argument)
+
+
 def unparse_rule(rule: Rule) -> str:
     """Render a rule in the surface syntax (labels are not part of it)."""
     parts = [unparse_atom(a) for a in rule.body]
-    parts.extend(str(c) for c in rule.conditions)
-    parts.extend(str(a) for a in rule.assignments)
+    parts.extend(_unparse_condition(c) for c in rule.conditions)
+    parts.extend(_unparse_assignment(a) for a in rule.assignments)
     if rule.aggregate is not None:
-        parts.append(str(rule.aggregate))
+        parts.append(_unparse_aggregate(rule.aggregate))
     head = ", ".join(unparse_atom(a) for a in rule.head)
     return f"{head} :- {', '.join(parts)}."
 
@@ -507,18 +579,19 @@ def unparse_program(program: Program) -> str:
     for annotation in program.annotations:
         if annotation.name in ("input", "output"):
             continue  # already rendered from the input/output sets
-        lines.append(str(annotation))
+        inner = ", ".join(_unparse_annotation_argument(a) for a in annotation.arguments)
+        lines.append(f"@{annotation.name}({inner}).")
     for fact in program.facts:
         lines.append(f"{unparse_atom(fact)}.")
     for rule in program.rules:
         lines.append(unparse_rule(rule))
     for constraint in program.constraints:
         parts = [unparse_atom(a) for a in constraint.body]
-        parts.extend(str(c) for c in constraint.conditions)
+        parts.extend(_unparse_condition(c) for c in constraint.conditions)
         lines.append(f":- {', '.join(parts)}.")
     for egd in program.egds:
         parts = [unparse_atom(a) for a in egd.body]
-        parts.extend(str(c) for c in egd.conditions)
+        parts.extend(_unparse_condition(c) for c in egd.conditions)
         lines.append(f"{egd.left.name} = {egd.right.name} :- {', '.join(parts)}.")
     return "\n".join(lines) + ("\n" if lines else "")
 

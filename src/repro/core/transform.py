@@ -16,9 +16,10 @@ outputs).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-from .atoms import Atom
+from .atoms import Atom, Fact
 from .isomorphism import atom_structure_key
 from .rules import Program, Rule
 from .terms import Variable
@@ -208,3 +209,87 @@ def optimize_for_query(program: Program, query, analysis=None):
     from .magic import rewrite_with_magic
 
     return rewrite_with_magic(program, query, analysis)
+
+
+# --------------------------------------------------------------------------
+# Uniform view of the answer-preserving transforms (translation validation)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TransformApplication:
+    """One optimizer pass applied to a (normalised) program, in plain data.
+
+    The translation-validation oracle (:mod:`repro.verify`) compares
+    ``program`` + ``seeds`` + ``edb_filters`` against the input program over
+    all bounded databases, so every transform must express its effect in
+    these three fields: a rewritten rule set, extra ground facts added to
+    each run's database (magic seeds), and per-source row filters in the
+    serialisable ``(position, op, value)`` triple form of
+    :func:`repro.engine.plan.pushdown_constraint_spec`.
+    """
+
+    name: str
+    program: Program
+    seeds: Tuple[Fact, ...] = ()
+    edb_filters: Dict[str, Tuple[Tuple[int, str, object], ...]] = field(
+        default_factory=dict
+    )
+    changed: bool = False
+    detail: str = ""
+
+
+#: Transform names accepted by :func:`apply_transform` (the ``-unsound``
+#: variant is a deliberately broken magic rewriting for oracle self-tests).
+TRANSFORMS = ("magic", "slice", "pushdown", "magic-unsound")
+
+
+def apply_transform(
+    program: Program, query: Atom, name: str, analysis=None
+) -> TransformApplication:
+    """Apply one answer-preserving transform and describe it in plain data.
+
+    ``program`` must already be normalised (:func:`normalize_for_chase`);
+    ``query`` is the point query driving magic/slicing and naming the
+    answer predicate for pushdown.  Engine-layer passes are imported lazily
+    to keep :mod:`repro.core` import-light.
+    """
+    if name == "magic" or name == "magic-unsound":
+        result = optimize_for_query(program, query, analysis)
+        if name == "magic-unsound":
+            from .magic import unsound_variant
+
+            result = unsound_variant(result)
+        return TransformApplication(
+            name=name,
+            program=result.program,
+            seeds=tuple(result.seeds),
+            changed=result.changed,
+            detail=result.reason or f"{result.magic_rules} demand rules",
+        )
+    if name == "slice":
+        from ..engine.plan import backward_slice
+
+        _, rules = backward_slice(program, [query.predicate])
+        sliced = program.copy()
+        sliced.rules = list(rules)
+        return TransformApplication(
+            name=name,
+            program=sliced,
+            changed=len(rules) != len(program.rules),
+            detail=f"kept {len(rules)}/{len(program.rules)} rules",
+        )
+    if name == "pushdown":
+        from ..engine.plan import pushdown_constraint_spec
+
+        spec = pushdown_constraint_spec(
+            program, sorted(program.edb_predicates()), [query.predicate]
+        )
+        return TransformApplication(
+            name=name,
+            program=program,
+            edb_filters=dict(spec),
+            changed=bool(spec),
+            detail=f"pushdown on {sorted(spec)}" if spec else "no pushdown applies",
+        )
+    raise ValueError(f"unknown transform {name!r}; use one of {', '.join(TRANSFORMS)}")

@@ -560,6 +560,28 @@ def compile_source_pushdowns(
     return pushdowns
 
 
+def pushdown_constraint_spec(
+    program: Program,
+    predicates: Sequence[str],
+    requested_outputs: Sequence[str] = (),
+) -> Dict[str, Tuple[Tuple[int, str, object], ...]]:
+    """Serialisable view of :func:`compile_source_pushdowns`.
+
+    Returns predicate → sorted ``(position, op, value)`` triples — the raw
+    constraint form a :class:`~repro.storage.datasources.Pushdown` wraps.
+    The translation-validation encoder (:mod:`repro.verify.encode`) uses
+    this plain-data shape to filter the symbolic instance exactly the way
+    the sources would filter concrete rows, without holding a live
+    ``Pushdown`` inside the formula system.
+    """
+    return {
+        predicate: pushdown.constraints
+        for predicate, pushdown in compile_source_pushdowns(
+            program, predicates, requested_outputs
+        ).items()
+    }
+
+
 def backward_slice(program: Program, targets: Sequence[str]) -> Tuple[Set[str], List[Rule]]:
     """Query-driven relevance pruning: the rules that can reach ``targets``.
 

@@ -1,0 +1,218 @@
+"""Deterministic fuzz corpus of warded programs (shared by tests and tools).
+
+A seeded generator produces small warded Datalog± programs (joins,
+projections, recursion, constants, and existential rules fed from the
+extensional layer so the chase provably terminates) together with random
+databases.  The corpus is *deterministic*: case ``i`` is derived from
+``MASTER_SEED + i * 1009`` bit-for-bit, so a CI failure names a case index
+(and therefore a seed) that reproduces locally.
+
+The generator used to live inside ``tests/test_fuzz_programs.py``; it moved
+here so three consumers can share one corpus:
+
+* the differential fuzz suite (``tests/test_fuzz_programs.py``) — executor
+  matrix plus magic-vs-unrewritten agreement;
+* the translation-validation oracle (:mod:`repro.verify.oracle`) — symbolic
+  equivalence checking of the optimizer rewritings over the same programs;
+* the ``tools/check_equiv.py`` CLI — corpus sweeps from the command line.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.parser import parse_program
+from ..core.rules import Program
+from ..core.terms import Constant, Variable
+from ..core.wardedness import analyse_program
+
+MASTER_SEED = 20260726
+N_CASES = 100
+CONSTANTS = ["a", "b", "c", "d", "e", 1, 2, 3]
+
+
+def case_seed(index: int, attempt: int = 0) -> int:
+    """The ``random.Random`` seed of fuzz case ``index`` (for repro snippets)."""
+    return MASTER_SEED + index * 1009 + attempt
+
+
+def _random_database(rng, predicates):
+    """A small random database: 2–6 facts per extensional predicate."""
+    database = {}
+    for name, arity in predicates.items():
+        rows = set()
+        for _ in range(rng.randint(2, 6)):
+            rows.add(tuple(rng.choice(CONSTANTS) for _ in range(arity)))
+        database[name] = sorted(rows, key=repr)
+    return database
+
+
+def _variables(n):
+    return [Variable(f"V{i}") for i in range(n)]
+
+
+def _random_program(rng):
+    """Generate one warded program (text) plus its extensional schema.
+
+    Structure: 2–3 extensional predicates; an optional existential rule fed
+    only from the extensional layer (bounded null depth, so the warded
+    chase terminates regardless of the rest); 2–4 plain Datalog rules
+    (copy/permutation, join, or linear recursion) over everything defined
+    so far, with occasional constants in bodies.
+    """
+    edb = {f"E{i}": rng.randint(1, 3) for i in range(rng.randint(2, 3))}
+    idb = {}
+    rules = []
+
+    def atom_for(name, arity, vars_pool):
+        terms = []
+        for _ in range(arity):
+            if rng.random() < 0.15:
+                terms.append(Constant(rng.choice(CONSTANTS)))
+            else:
+                terms.append(rng.choice(vars_pool))
+        return Atom(name, terms)
+
+    # Optional existential layer (EDB bodies only).
+    if rng.random() < 0.5:
+        source = rng.choice(sorted(edb))
+        arity = edb[source]
+        head_arity = rng.randint(max(1, arity), arity + 1)
+        name = f"X{len(idb)}"
+        body_vars = _variables(arity)
+        head_terms = list(body_vars[: head_arity - 1]) or [body_vars[0]]
+        head_terms.append(Variable("Z"))  # existential witness
+        rules.append((Atom(name, head_terms[:head_arity]), [Atom(source, body_vars)]))
+        idb[name] = head_arity
+
+    # Plain Datalog layer.
+    for index in range(rng.randint(2, 4)):
+        defined = {**edb, **idb}
+        kind = rng.choice(["copy", "join", "recursive"])
+        name = f"P{index}"
+        if kind == "copy":
+            source = rng.choice(sorted(defined))
+            arity = defined[source]
+            body_vars = _variables(arity)
+            head_vars = rng.sample(body_vars, k=rng.randint(1, arity))
+            rules.append((Atom(name, head_vars), [atom_for(source, arity, body_vars)]))
+            idb[name] = len(head_vars)
+        elif kind == "join":
+            left = rng.choice(sorted(defined))
+            right = rng.choice(sorted(defined))
+            lv = _variables(defined[left])
+            rv = _variables(defined[left] + defined[right])[defined[left]:]
+            if lv and rv:
+                rv[0] = lv[-1]  # shared join variable
+            head_pool = list(dict.fromkeys(lv + rv))
+            head_vars = rng.sample(head_pool, k=rng.randint(1, min(3, len(head_pool))))
+            rules.append(
+                (
+                    Atom(name, head_vars),
+                    [Atom(left, lv), atom_for(right, defined[right], rv)],
+                )
+            )
+            idb[name] = len(head_vars)
+        else:
+            binary_edb = [n for n, a in edb.items() if a == 2]
+            if not binary_edb:
+                continue
+            edge = rng.choice(binary_edb)
+            x, y, z = Variable("A"), Variable("B"), Variable("C")
+            rules.append((Atom(name, (x, y)), [Atom(edge, (x, y))]))
+            rules.append((Atom(name, (x, z)), [Atom(name, (x, y)), Atom(edge, (y, z))]))
+            idb[name] = 2
+
+    lines = []
+    for head, body in rules:
+        body_text = ", ".join(
+            f"{a.predicate}({', '.join(_term_text(t) for t in a.terms)})" for a in body
+        )
+        head_text = f"{head.predicate}({', '.join(_term_text(t) for t in head.terms)})"
+        lines.append(f"{head_text} :- {body_text}.")
+    for name in sorted(idb):
+        lines.append(f'@output("{name}").')
+    return "\n".join(lines), edb, idb
+
+
+def _term_text(term):
+    if isinstance(term, Variable):
+        return term.name
+    value = term.value
+    return f'"{value}"' if isinstance(value, str) else str(value)
+
+
+@dataclass
+class FuzzCase:
+    """One deterministic corpus entry.
+
+    ``rng`` is the generator *after* producing program and database — the
+    fuzz suite keeps consuming it (query sampling), so query selection stays
+    bit-identical to the pre-extraction test behaviour.
+    """
+
+    index: int
+    attempt: int
+    text: str
+    program: Program
+    database: Dict[str, List[Tuple]]
+    edb: Dict[str, int]
+    idb: Dict[str, int]
+    rng: random.Random
+
+    @property
+    def seed(self) -> int:
+        return case_seed(self.index, self.attempt)
+
+
+def generate_case(index: int) -> FuzzCase:
+    """Deterministically generate warded case ``index`` (retry until warded)."""
+    for attempt in range(50):
+        rng = random.Random(case_seed(index, attempt))
+        text, edb, idb = _random_program(rng)
+        if not idb:
+            continue
+        program = parse_program(text)
+        if not program.rules:
+            continue
+        if not analyse_program(program).is_warded:
+            continue
+        database = _random_database(rng, edb)
+        return FuzzCase(
+            index=index,
+            attempt=attempt,
+            text=text,
+            program=program,
+            database=database,
+            edb=edb,
+            idb=idb,
+            rng=rng,
+        )
+    raise AssertionError(f"case {index}: no warded program within 50 attempts")
+
+
+def point_query(case: FuzzCase, result) -> Optional[Atom]:
+    """A bound query atom over a derived predicate, from actual answers.
+
+    ``result`` is a :class:`~repro.engine.reasoner.ReasoningResult` of a full
+    materialisation of the case; consumes ``case.rng`` (call at most once).
+    """
+    rng = case.rng
+    for predicate in sorted(case.idb):
+        facts = sorted(
+            (f for f in result.chase.store.by_predicate(predicate) if not f.has_nulls),
+            key=repr,
+        )
+        if not facts:
+            continue
+        sample = facts[rng.randrange(len(facts))]
+        position = rng.randrange(sample.arity)
+        terms = [
+            sample.terms[i] if i == position else Variable(f"Q{i}")
+            for i in range(sample.arity)
+        ]
+        return Atom(predicate, terms)
+    return None

@@ -1,0 +1,40 @@
+"""Translation validation for the logic-optimizer rewritings (Section 4).
+
+The paper's optimizer rewritings (magic sets, source pushdown, backward
+slicing) must preserve *certain answers over every database*, not just the
+databases the differential suites happen to test.  This package checks that
+claim symbolically, VeriEQL-style: :mod:`repro.verify.encode` unrolls the
+chase of a warded program over a bounded symbolic instance into a Boolean
+formula, :mod:`repro.verify.equiv` asks a solver whether some certain answer
+of the original program can diverge from the rewritten one (SAT ⇒ a concrete
+counterexample database, UNSAT ⇒ equivalence up to the bound), and
+:mod:`repro.verify.oracle` wires the check into the fuzz corpus as a second
+oracle next to the concrete differential runs, auto-minimising any
+divergence (:mod:`repro.verify.minimize`) into a regression test.
+
+Z3 is optional (``pip install -e .[verify]``): the encoding itself is pure
+Python, solvable exhaustively for small bounds or falling back to concrete
+differential sampling when z3 is absent.
+"""
+
+from .encode import Bounds, EncodingUnsupported, encode_task
+from .equiv import (
+    EquivalenceReport,
+    EquivalenceTask,
+    check_equivalence,
+    magic_task,
+    pushdown_task,
+    slice_task,
+)
+
+__all__ = [
+    "Bounds",
+    "EncodingUnsupported",
+    "encode_task",
+    "EquivalenceReport",
+    "EquivalenceTask",
+    "check_equivalence",
+    "magic_task",
+    "pushdown_task",
+    "slice_task",
+]

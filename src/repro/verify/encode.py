@@ -1,0 +1,784 @@
+"""Bounded symbolic encoding of chase equivalence (translation validation).
+
+Following the VeriEQL recipe adapted from SQL to warded Datalog±, one
+:class:`EquivalenceTask` (an original program, a rewritten program, a query
+and a shared extensional schema) is compiled into a Boolean formula over a
+*bounded symbolic instance*:
+
+* **the instance** — for every extensional predicate, every tuple over a
+  finite constant pool (the program's and query's constants plus a few
+  fresh ones) gets a free *selector* variable saying "this fact is in the
+  database", with an at-most-``k`` cardinality constraint per predicate;
+* **labelled nulls** — every existential rule gets one Skolem null per
+  (existential variable, frontier binding over the pool), shared between
+  the two programs (after normalisation both sides fire the *same* linear
+  existential rules, so their witnesses coincide by construction);
+* **rule firing** — the chase is unrolled per recursive stratum: each round
+  asserts ``head-membership ← AND(body memberships)`` for every grounding,
+  with body comparisons evaluated statically per grounding (they only ever
+  see pool constants and nulls, exactly like the engine's
+  :meth:`~repro.core.conditions.Comparison.holds`);
+* **convergence** — each recursive stratum carries the constraint that its
+  last unrolled round derived nothing new, so a model is a genuine chase
+  fixpoint, never an artefact of one side needing more rounds;
+* **divergence goal** — OR over the ground (null-free) tuples matching the
+  query of XOR(original derives it, rewrite derives it): SAT means some
+  certain answer differs on the selected database, UNSAT means equivalence
+  *up to the bounds* (pool size, facts per predicate, unrolled rounds,
+  null depth).
+
+The encoding is a plain Python formula tree — no solver is needed to build
+it, so it is testable (and exhaustively solvable for small bounds) without
+z3; :func:`to_z3` converts the tree for the real solver when available.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom, Fact
+from ..core.rules import Program, Rule
+from ..core.terms import Constant, Null, Term, Variable
+
+__all__ = [
+    "Bounds",
+    "EncodingUnsupported",
+    "TaskEncoding",
+    "encode_task",
+    "f_var",
+    "f_not",
+    "f_and",
+    "f_or",
+    "f_xor",
+    "f_at_most",
+    "py_eval",
+    "to_z3",
+]
+
+
+class EncodingUnsupported(Exception):
+    """The program or bounds fall outside what the encoder can handle.
+
+    Raised for features the bounded encoding does not model (aggregates,
+    assignments, ``Dom`` guards, EGDs/constraints) and for bound blow-ups
+    (null pool or grounding count over budget).  Callers fall back to
+    concrete differential sampling.
+    """
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Finite bounds of the symbolic instance.
+
+    ``k_facts`` symbolic facts per extensional predicate over a pool of the
+    task's constants plus ``extra_constants`` fresh ones; recursive strata
+    unrolled ``rounds`` times; at most ``max_nulls`` Skolem nulls (one per
+    existential variable and frontier binding, depth 1 — deeper chains are
+    dropped and flagged as truncation); at most ``max_firings`` rule
+    groundings in the whole encoding (the tractability valve).
+    """
+
+    k_facts: int = 3
+    extra_constants: int = 2
+    rounds: int = 6
+    max_nulls: int = 64
+    max_firings: int = 60_000
+
+
+# --------------------------------------------------------------------------
+# Formula trees
+# --------------------------------------------------------------------------
+#
+# Nodes are Python ``True``/``False`` or tuples: ("v", name), ("!", x),
+# ("&", (xs…)), ("|", (xs…)), ("^", a, b), ("≤", k, (xs…)).  Constructors
+# simplify statically — crucial for keeping round-0 firings (empty IDB)
+# from materialising at all.
+
+
+def f_var(name: str):
+    return ("v", name)
+
+
+def f_not(x):
+    if x is True:
+        return False
+    if x is False:
+        return True
+    if isinstance(x, tuple) and x[0] == "!":
+        return x[1]
+    return ("!", x)
+
+
+def f_and(items: Iterable):
+    out = []
+    for item in items:
+        if item is False:
+            return False
+        if item is True:
+            continue
+        out.append(item)
+    if not out:
+        return True
+    if len(out) == 1:
+        return out[0]
+    return ("&", tuple(out))
+
+
+def f_or(items: Iterable):
+    out = []
+    for item in items:
+        if item is True:
+            return True
+        if item is False:
+            continue
+        out.append(item)
+    if not out:
+        return False
+    if len(out) == 1:
+        return out[0]
+    return ("|", tuple(out))
+
+
+def f_xor(a, b):
+    if a is False:
+        return b
+    if b is False:
+        return a
+    if a is True:
+        return f_not(b)
+    if b is True:
+        return f_not(a)
+    if a is b:
+        return False
+    return ("^", a, b)
+
+
+def f_at_most(items: Sequence, k: int):
+    items = [i for i in items if i is not False]
+    if len(items) <= k:
+        return True
+    return ("≤", k, tuple(items))
+
+
+def py_eval(node, assignment: Mapping[str, bool], _cache: Optional[dict] = None) -> bool:
+    """Evaluate a formula tree under a selector assignment (pure Python).
+
+    ``assignment`` maps variable names to booleans; missing names default to
+    ``False`` (fact absent).  Shared sub-trees are evaluated once per call.
+    """
+    if _cache is None:
+        _cache = {}
+
+    def walk(n) -> bool:
+        if n is True or n is False:
+            return n
+        key = id(n)
+        hit = _cache.get(key)
+        if hit is not None:
+            return hit
+        tag = n[0]
+        if tag == "v":
+            value = bool(assignment.get(n[1], False))
+        elif tag == "!":
+            value = not walk(n[1])
+        elif tag == "&":
+            value = all(walk(c) for c in n[1])
+        elif tag == "|":
+            value = any(walk(c) for c in n[1])
+        elif tag == "^":
+            value = walk(n[1]) != walk(n[2])
+        else:  # "≤"
+            value = sum(1 for c in n[2] if walk(c)) <= n[1]
+        _cache[key] = value
+        return value
+
+    return walk(node)
+
+
+def formula_size(node, _seen: Optional[set] = None) -> int:
+    """Number of distinct nodes in a formula tree (diagnostics)."""
+    if _seen is None:
+        _seen = set()
+    if node is True or node is False or id(node) in _seen:
+        return 0
+    _seen.add(id(node))
+    tag = node[0]
+    if tag == "v":
+        return 1
+    if tag == "!":
+        return 1 + formula_size(node[1], _seen)
+    if tag == "^":
+        return 1 + formula_size(node[1], _seen) + formula_size(node[2], _seen)
+    children = node[1] if tag == "&" or tag == "|" else node[2]
+    return 1 + sum(formula_size(c, _seen) for c in children)
+
+
+def to_z3(node, z3_module, cache: Optional[dict] = None):  # pragma: no cover
+    """Convert a formula tree into a z3 Boolean expression (z3 installed only)."""
+    z3 = z3_module
+    if cache is None:
+        cache = {}
+
+    def walk(n):
+        if n is True:
+            return z3.BoolVal(True)
+        if n is False:
+            return z3.BoolVal(False)
+        key = id(n)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        tag = n[0]
+        if tag == "v":
+            expr = z3.Bool(n[1])
+        elif tag == "!":
+            expr = z3.Not(walk(n[1]))
+        elif tag == "&":
+            expr = z3.And(*[walk(c) for c in n[1]])
+        elif tag == "|":
+            expr = z3.Or(*[walk(c) for c in n[1]])
+        elif tag == "^":
+            expr = z3.Xor(walk(n[1]), walk(n[2]))
+        else:  # "≤"
+            expr = z3.AtMost(*[walk(c) for c in n[2]], n[1])
+        cache[key] = expr
+        return expr
+
+    return walk(node)
+
+
+# --------------------------------------------------------------------------
+# The task encoding
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TaskEncoding:
+    """The compiled formula system of one equivalence task.
+
+    A model of ``AND(constraints) ∧ goal`` assigns the EDB ``selectors`` a
+    database on which the two programs disagree about some certain answer
+    matching the query; unsatisfiability means equivalence up to
+    :attr:`bounds` (and up to :attr:`truncated` — when true, some null
+    chain exceeded the depth bound and its derivations were dropped on
+    *both* sides, so UNSAT no longer covers the full bounded space).
+    """
+
+    bounds: Bounds
+    pool: Tuple[Constant, ...]
+    #: (predicate, value tuple) → selector variable name.
+    selectors: Dict[Tuple[str, Tuple[object, ...]], str]
+    constraints: List[object]
+    goal: object
+    truncated: bool = False
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: (answer value tuple, divergence formula) per candidate certain answer.
+    witnesses: List[Tuple[Tuple[object, ...], object]] = field(default_factory=list)
+
+    def selector_names(self) -> List[str]:
+        return sorted(self.selectors.values())
+
+    def database_from_assignment(
+        self, assignment: Mapping[str, bool]
+    ) -> Dict[str, List[Tuple[object, ...]]]:
+        """Decode a satisfying selector assignment into a concrete database."""
+        database: Dict[str, List[Tuple[object, ...]]] = {}
+        for (predicate, values), name in sorted(self.selectors.items(), key=repr):
+            if assignment.get(name, False):
+                database.setdefault(predicate, []).append(values)
+        return database
+
+
+def _pool_constants(programs: Sequence[Program], query: Atom, extra: int) -> Tuple[Constant, ...]:
+    """The constant pool: program + query constants plus ``extra`` fresh ones."""
+    values: List[object] = []
+    seen: Set[object] = set()
+
+    def add(value: object) -> None:
+        key = (type(value).__name__, value)
+        if key not in seen:
+            seen.add(key)
+            values.append(value)
+
+    for program in programs:
+        for rule in program.rules:
+            for atom in list(rule.head) + list(rule.relational_body):
+                for term in atom.terms:
+                    if isinstance(term, Constant):
+                        add(term.value)
+            for condition in rule.conditions:
+                for literal in _condition_literals(condition):
+                    add(literal)
+        for program_fact in program.facts:
+            for term in program_fact.terms:
+                if isinstance(term, Constant):
+                    add(term.value)
+    for term in query.terms:
+        if isinstance(term, Constant):
+            add(term.value)
+    index = 0
+    for _ in range(extra):
+        while f"_c{index}" in seen or ("str", f"_c{index}") in seen:
+            index += 1
+        add(f"_c{index}")
+        index += 1
+    return tuple(Constant(v) for v in values)
+
+
+def _condition_literals(condition) -> List[object]:
+    from ..core.expressions import BinaryOp, Literal, UnaryOp
+
+    literals: List[object] = []
+
+    def walk(expr) -> None:
+        if isinstance(expr, Literal):
+            literals.append(expr.value)
+        elif isinstance(expr, BinaryOp):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, UnaryOp):
+            walk(expr.operand)
+
+    walk(condition.left)
+    walk(condition.right)
+    return literals
+
+
+def _check_supported(program: Program, side: str) -> None:
+    if program.constraints or program.egds:
+        raise EncodingUnsupported(f"{side}: EGDs/denial constraints are not encoded")
+    for rule in program.rules:
+        if len(rule.head) > 1:
+            raise EncodingUnsupported(
+                f"{side}: multi-head rule {rule.label!r} (normalise the program first)"
+            )
+        if rule.aggregate is not None:
+            raise EncodingUnsupported(f"{side}: aggregates are not encoded ({rule.label})")
+        if rule.assignments:
+            raise EncodingUnsupported(f"{side}: assignments are not encoded ({rule.label})")
+        if rule.dom_guards:
+            raise EncodingUnsupported(f"{side}: Dom guards are not encoded ({rule.label})")
+        body_vars = set()
+        for atom in rule.relational_body:
+            body_vars.update(atom.variables())
+        for condition in rule.conditions:
+            if any(v not in body_vars for v in condition.variables()):
+                raise EncodingUnsupported(
+                    f"{side}: condition over non-body variable ({rule.label})"
+                )
+
+
+def _existential_signature(rule: Rule) -> Tuple[Tuple[Variable, ...], Tuple[Variable, ...]]:
+    """(frontier variables, existential variables) in deterministic order."""
+    existentials = tuple(rule.existential_variables())
+    existential_set = set(existentials)
+    frontier: List[Variable] = []
+    for atom in rule.head:
+        for variable in atom.variables():
+            if variable not in existential_set and variable not in frontier:
+                frontier.append(variable)
+    return tuple(frontier), existentials
+
+
+def _build_skolem_table(
+    programs: Sequence[Program], pool: Tuple[Constant, ...], bounds: Bounds
+) -> Dict[Tuple[str, str, Tuple[Term, ...]], Null]:
+    """One shared Skolem null per (rule label, existential var, frontier binding).
+
+    Frontier bindings range over the constant pool only (null depth 1);
+    groundings whose frontier carries a null find no table entry and are
+    dropped with ``truncated=True`` by the side encoders.
+    """
+    table: Dict[Tuple[str, str, Tuple[Term, ...]], Null] = {}
+    signatures: Dict[str, Tuple[Tuple[Variable, ...], Tuple[Variable, ...]]] = {}
+    for program in programs:
+        for rule in program.rules:
+            existentials = rule.existential_variables()
+            if not existentials:
+                continue
+            signatures.setdefault(rule.label or repr(rule), _existential_signature(rule))
+    count = 0
+    for label in sorted(signatures):
+        frontier, existentials = signatures[label]
+        bindings = itertools.product(pool, repeat=len(frontier))
+        for binding in bindings:
+            for z in existentials:
+                count += 1
+                if count > bounds.max_nulls:
+                    raise EncodingUnsupported(
+                        f"null pool exceeds bound ({count} > {bounds.max_nulls})"
+                    )
+                ident = f"v_{label}_{z.name}_{len(table)}"
+                table[(label, z.name, tuple(binding))] = Null(ident)
+    return table
+
+
+def _predicate_sccs(rules: Sequence[Rule]) -> List[List[str]]:
+    """SCCs of the head←body predicate dependency graph, topologically ordered.
+
+    Returned bottom-up: every SCC appears after all SCCs it depends on.
+    """
+    dependencies: Dict[str, Set[str]] = {}
+    for rule in rules:
+        for head in rule.head_predicate_names():
+            deps = dependencies.setdefault(head, set())
+            for atom in rule.relational_body:
+                deps.add(atom.predicate)
+                dependencies.setdefault(atom.predicate, set())
+    order: List[str] = []
+    visited: Set[str] = set()
+
+    def visit(node: str) -> None:
+        stack = [(node, iter(sorted(dependencies.get(node, ()))))]
+        visited.add(node)
+        while stack:
+            current, iterator = stack[-1]
+            advanced = False
+            for successor in iterator:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(sorted(dependencies.get(successor, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    for node in sorted(dependencies):
+        if node not in visited:
+            visit(node)
+
+    # Kosaraju second pass over the reversed graph (body → head).
+    reverse: Dict[str, Set[str]] = {node: set() for node in dependencies}
+    for head, deps in dependencies.items():
+        for dep in deps:
+            reverse.setdefault(dep, set()).add(head)
+    assigned: Set[str] = set()
+    components: List[List[str]] = []
+    for node in reversed(order):
+        if node in assigned:
+            continue
+        component = []
+        stack = [node]
+        assigned.add(node)
+        while stack:
+            current = stack.pop()
+            component.append(current)
+            for successor in sorted(reverse.get(current, ())):
+                if successor not in assigned:
+                    assigned.add(successor)
+                    stack.append(successor)
+        components.append(sorted(component))
+    # Kosaraju emits components in reverse topological order of the
+    # dependency graph (consumers first); flip to process producers first.
+    components.reverse()
+    return components
+
+
+class _SideEncoder:
+    """Unrolls one program's chase over the shared symbolic instance."""
+
+    def __init__(
+        self,
+        side: str,
+        program: Program,
+        base: Dict[str, Dict[Tuple[Term, ...], object]],
+        skolem: Mapping[Tuple[str, str, Tuple[Term, ...]], Null],
+        bounds: Bounds,
+        budget: List[int],
+    ) -> None:
+        self.side = side
+        self.program = program
+        self.membership: Dict[str, Dict[Tuple[Term, ...], object]] = {
+            predicate: dict(entries) for predicate, entries in base.items()
+        }
+        self.skolem = skolem
+        self.bounds = bounds
+        self.budget = budget  # single-element mutable: groundings left
+        self.truncated = False
+        self.convergence: List[object] = []
+        self.groundings = 0
+
+    def run(self) -> None:
+        rules_by_head: Dict[str, List[Rule]] = {}
+        for rule in self.program.rules:
+            for head in rule.head_predicate_names():
+                rules_by_head.setdefault(head, []).append(rule)
+        for component in _predicate_sccs(self.program.rules):
+            in_component = set(component)
+            rules = [
+                rule
+                for predicate in component
+                for rule in rules_by_head.get(predicate, ())
+            ]
+            deduped: List[Rule] = []
+            seen_ids: Set[int] = set()
+            for candidate in rules:
+                if id(candidate) not in seen_ids:
+                    seen_ids.add(id(candidate))
+                    deduped.append(candidate)
+            rules = deduped
+            if not rules:
+                continue
+            recursive = len(component) > 1 or any(
+                atom.predicate in in_component
+                for rule in rules
+                for atom in rule.relational_body
+            )
+            if not recursive:
+                self._apply_round(rules)
+                continue
+            previous: Dict[str, Dict[Tuple[Term, ...], object]] = {}
+            for _ in range(self.bounds.rounds):
+                previous = {
+                    predicate: dict(self.membership.get(predicate, {}))
+                    for predicate in component
+                }
+                self._apply_round(rules, snapshot=previous)
+            # Fixpoint: the last round must not have derived anything new.
+            for predicate in component:
+                before = previous.get(predicate, {})
+                for values, formula in self.membership.get(predicate, {}).items():
+                    prior = before.get(values, False)
+                    if formula is prior:
+                        continue
+                    self.convergence.append(f_or([f_not(formula), prior]))
+
+    # -- one synchronous round over a rule set -----------------------------
+    def _apply_round(
+        self,
+        rules: Sequence[Rule],
+        snapshot: Optional[Dict[str, Dict[Tuple[Term, ...], object]]] = None,
+    ) -> None:
+        derived: List[Tuple[str, Tuple[Term, ...], object]] = []
+        for rule in rules:
+            derived.extend(self._fire(rule, snapshot))
+        merged: Dict[Tuple[str, Tuple[Term, ...]], List[object]] = {}
+        for predicate, values, formula in derived:
+            merged.setdefault((predicate, values), []).append(formula)
+        for (predicate, values), formulas in merged.items():
+            entries = self.membership.setdefault(predicate, {})
+            existing = entries.get(values, False)
+            entries[values] = f_or([existing] + formulas)
+
+    def _lookup(
+        self,
+        predicate: str,
+        snapshot: Optional[Dict[str, Dict[Tuple[Term, ...], object]]],
+    ) -> Dict[Tuple[Term, ...], object]:
+        if snapshot is not None and predicate in snapshot:
+            return snapshot[predicate]
+        return self.membership.get(predicate, {})
+
+    def _fire(
+        self,
+        rule: Rule,
+        snapshot: Optional[Dict[str, Dict[Tuple[Term, ...], object]]],
+    ) -> List[Tuple[str, Tuple[Term, ...], object]]:
+        """All groundings of one rule against the current memberships."""
+        body = list(rule.relational_body)
+        existentials = set(rule.existential_variables())
+        frontier = _existential_signature(rule)[0] if existentials else ()
+        label = rule.label or repr(rule)
+        if not body:
+            # Factual rule: heads are ground by construction.
+            return [
+                (atom.predicate, tuple(atom.terms), True)
+                for atom in rule.head
+            ]
+        relations = [self._lookup(atom.predicate, snapshot) for atom in body]
+        # Scan-join, smallest relation first (deterministic tie-break).
+        atom_order = sorted(
+            range(len(body)), key=lambda i: (len(relations[i]), i)
+        )
+        results: List[Tuple[str, Tuple[Term, ...], object]] = []
+
+        def extend(position: int, binding: Dict[Variable, Term], parts: List[object]) -> None:
+            if position == len(atom_order):
+                self._emit(rule, label, existentials, frontier, binding, parts, results)
+                return
+            atom = body[atom_order[position]]
+            relation = relations[atom_order[position]]
+            for values, formula in relation.items():
+                local = dict(binding)
+                if not _bind_atom(atom, values, local):
+                    continue
+                extend(position + 1, local, parts + [formula])
+
+        extend(0, {}, [])
+        return results
+
+    def _emit(
+        self,
+        rule: Rule,
+        label: str,
+        existentials: Set[Variable],
+        frontier: Tuple[Variable, ...],
+        binding: Dict[Variable, Term],
+        parts: List[object],
+        results: List[Tuple[str, Tuple[Term, ...], object]],
+    ) -> None:
+        self.groundings += 1
+        self.budget[0] -= 1
+        if self.budget[0] < 0:
+            raise EncodingUnsupported(
+                f"grounding budget exhausted (> {self.bounds.max_firings} firings)"
+            )
+        for condition in rule.conditions:
+            if not condition.holds(binding):
+                return
+        firing = f_and(parts)
+        if firing is False:
+            return
+        frontier_values: Optional[Tuple[Term, ...]] = None
+        if existentials:
+            values = tuple(binding[v] for v in frontier)
+            if any(isinstance(v, Null) for v in values):
+                # Null chain deeper than the Skolem table: drop (both sides
+                # share the table, so the truncation is symmetric).
+                self.truncated = True
+                return
+            frontier_values = values
+        for atom in rule.head:
+            head_values: List[Term] = []
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    if term in existentials:
+                        head_values.append(self.skolem[(label, term.name, frontier_values)])
+                    else:
+                        head_values.append(binding[term])
+                else:
+                    head_values.append(term)
+            results.append((atom.predicate, tuple(head_values), firing))
+
+
+def _bind_atom(atom: Atom, values: Tuple[Term, ...], binding: Dict[Variable, Term]) -> bool:
+    if len(values) != atom.arity:
+        return False
+    for term, value in zip(atom.terms, values):
+        if isinstance(term, Variable):
+            bound = binding.get(term)
+            if bound is None:
+                binding[term] = value
+            elif bound != value:
+                return False
+        elif term != value:
+            return False
+    return True
+
+
+def _row_passes(constraints: Sequence[Tuple[int, str, object]], values: Tuple[object, ...]) -> bool:
+    """Static evaluation of a serialised pushdown over one candidate row."""
+    from ..storage.datasources import Pushdown
+
+    return Pushdown(tuple(constraints)).matches(values)
+
+
+def encode_task(task, bounds: Optional[Bounds] = None) -> TaskEncoding:
+    """Encode one :class:`~repro.verify.equiv.EquivalenceTask` into formulas.
+
+    Raises :class:`EncodingUnsupported` when the programs use features the
+    encoding does not model or when the bounds blow past the budget.
+    """
+    bounds = bounds or Bounds()
+    original: Program = task.original
+    transformed: Program = task.transformed
+    _check_supported(original, "original")
+    _check_supported(transformed, "transformed")
+
+    pool = _pool_constants((original, transformed), task.query, bounds.extra_constants)
+    skolem = _build_skolem_table((original, transformed), pool, bounds)
+
+    # -- shared symbolic EDB ------------------------------------------------
+    selectors: Dict[Tuple[str, Tuple[object, ...]], str] = {}
+    selector_nodes: Dict[Tuple[str, Tuple[object, ...]], object] = {}
+    constraints: List[object] = []
+    edb_base: Dict[str, Dict[Tuple[Term, ...], object]] = {}
+    for predicate in sorted(task.edb):
+        arity = task.edb[predicate]
+        entries: Dict[Tuple[Term, ...], object] = {}
+        per_predicate: List[object] = []
+        for index, row in enumerate(itertools.product(pool, repeat=arity)):
+            name = f"sel|{predicate}|{index}"
+            key = (predicate, tuple(term.value for term in row))
+            selectors[key] = name
+            node = f_var(name)
+            selector_nodes[key] = node
+            entries[tuple(row)] = node
+            per_predicate.append(node)
+        constraints.append(f_at_most(per_predicate, bounds.k_facts))
+        edb_base[predicate] = entries
+
+    def base_for(program: Program, seeds: Sequence[Fact], filters) -> Dict[str, Dict[Tuple[Term, ...], object]]:
+        base = {
+            predicate: dict(entries) for predicate, entries in edb_base.items()
+        }
+        if filters:
+            for predicate, constraint_spec in sorted(filters.items()):
+                entries = base.get(predicate)
+                if entries is None:
+                    continue
+                base[predicate] = {
+                    row: node
+                    for row, node in entries.items()
+                    if _row_passes(constraint_spec, tuple(t.value for t in row))
+                }
+        for program_fact in list(program.facts) + list(seeds):
+            entries = base.setdefault(program_fact.predicate, {})
+            entries[tuple(program_fact.terms)] = True
+        return base
+
+    budget = [bounds.max_firings]
+    original_side = _SideEncoder(
+        "original", original, base_for(original, (), None), skolem, bounds, budget
+    )
+    original_side.run()
+    transformed_side = _SideEncoder(
+        "transformed",
+        transformed,
+        base_for(transformed, task.seeds, task.edb_filters),
+        skolem,
+        bounds,
+        budget,
+    )
+    transformed_side.run()
+
+    constraints.extend(original_side.convergence)
+    constraints.extend(transformed_side.convergence)
+
+    # -- divergence goal ----------------------------------------------------
+    predicate = task.query.predicate
+    left = original_side.membership.get(predicate, {})
+    right = transformed_side.membership.get(predicate, {})
+    differences: List[object] = []
+    witnesses: List[Tuple[Tuple[object, ...], object]] = []
+    for values in sorted(set(left) | set(right), key=repr):
+        if any(isinstance(term, Null) for term in values):
+            continue  # certain answers are the ground tuples
+        if task.query.match(Fact.from_ground(predicate, values)) is None:
+            continue
+        delta = f_xor(left.get(values, False), right.get(values, False))
+        if delta is not False:
+            differences.append(delta)
+            witnesses.append((tuple(t.value for t in values), delta))
+    goal = f_or(differences)
+
+    encoding = TaskEncoding(
+        bounds=bounds,
+        pool=pool,
+        selectors=selectors,
+        constraints=constraints,
+        goal=goal,
+        truncated=original_side.truncated or transformed_side.truncated,
+        stats={
+            "pool": len(pool),
+            "nulls": len(skolem),
+            "selectors": len(selectors),
+            "groundings": original_side.groundings + transformed_side.groundings,
+            "candidate_answers": len(differences),
+        },
+        witnesses=witnesses,
+    )
+    return encoding

@@ -1,0 +1,237 @@
+"""The fuzz-corpus oracle: symbolic equivalence checks as a second opinion.
+
+The PR 5 fuzz harness compares the optimizer rewritings against concrete
+runs on one random database per case.  This module adds the symbolic
+oracle on top of the same corpus (:mod:`repro.testing.fuzz`): every case's
+magic rewriting is checked over *all* databases within the bounds
+(:func:`check_fuzz_case` / :func:`sweep`), and any divergence — concrete
+or symbolic — is shrunk by :mod:`repro.verify.minimize` and written out as
+a standalone regression test under ``tests/regressions/``
+(:func:`write_regression`).
+
+``backend="auto"`` degrades gracefully without z3: small instances are
+solved exhaustively in pure Python, large ones fall back to seeded concrete
+sampling, and the report says which claim was actually made.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.parser import unparse_atom
+from ..core.rules import Program
+from ..engine.reasoner import VadalogReasoner
+from ..testing import fuzz
+from .encode import Bounds
+from .equiv import EquivalenceReport, check_equivalence, magic_task
+from .minimize import MinimisationResult, minimise_divergence, repro_snippet
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "OracleOutcome",
+    "check_fuzz_case",
+    "sweep",
+    "magic_divergence_oracle",
+    "shrink_and_report",
+    "write_regression",
+]
+
+#: Bounds used for corpus sweeps: k=3 facts per predicate (the acceptance
+#: bound), 4 unrolled rounds (the corpus' recursion converges in ≤ 3 over
+#: pools this small — the convergence constraints enforce it per model).
+DEFAULT_BOUNDS = Bounds(k_facts=3, rounds=4)
+
+
+@dataclass
+class OracleOutcome:
+    """One corpus case's oracle run."""
+
+    index: int
+    seed: int
+    query: Optional[Atom]
+    report: Optional[EquivalenceReport]
+
+    @property
+    def skipped(self) -> bool:
+        return self.report is None
+
+    def summary(self) -> str:
+        if self.report is None:
+            return f"case {self.index}: skipped (no derivable point query)"
+        report = self.report
+        extra = f" [{report.notes}]" if report.notes else ""
+        return (
+            f"case {self.index}: {report.verdict} via {report.backend}"
+            f" (transform={report.transform}, checked={report.checked}){extra}"
+        )
+
+
+def check_fuzz_case(
+    index: int,
+    backend: str = "auto",
+    bounds: Optional[Bounds] = None,
+    samples: int = 60,
+    transform: str = "magic",
+    unsound: bool = False,
+) -> OracleOutcome:
+    """Run the symbolic oracle on one corpus case's point query."""
+    case = fuzz.generate_case(index)
+    reasoner = VadalogReasoner(case.program.copy())
+    result = reasoner.reason(database=case.database)
+    query = fuzz.point_query(case, result)
+    if query is None:
+        return OracleOutcome(index=index, seed=case.seed, query=None, report=None)
+    task = magic_task(
+        case.program, query, unsound=unsound, name=f"fuzz-{index}"
+    )
+    task.transform = transform if not unsound else "magic-unsound"
+    report = check_equivalence(
+        task, bounds=bounds or DEFAULT_BOUNDS, backend=backend, samples=samples
+    )
+    return OracleOutcome(index=index, seed=case.seed, query=query, report=report)
+
+
+def sweep(
+    indices: Sequence[int],
+    backend: str = "auto",
+    bounds: Optional[Bounds] = None,
+    samples: int = 60,
+) -> List[OracleOutcome]:
+    """Run the oracle over a corpus slice; outcomes in index order."""
+    return [
+        check_fuzz_case(index, backend=backend, bounds=bounds, samples=samples)
+        for index in indices
+    ]
+
+
+# --------------------------------------------------------------------------
+# Divergence handling: shrink, snippet, regression file
+# --------------------------------------------------------------------------
+
+
+def magic_divergence_oracle(query_hint: Optional[Atom] = None):
+    """A shrinker oracle comparing ``rewrite="magic"`` against ``"none"``.
+
+    Goes through the *public* reasoner pipeline (exactly what the fuzz
+    suite asserts on), so a shrunk case keeps failing the same way the
+    original did.  Returns the smallest diverging certain answer, or a
+    ``("<null-patterns>",)`` sentinel when only the null answer patterns
+    differ.
+    """
+
+    def diverges(program: Program, database, query: Atom):
+        from ..core.isomorphism import pattern_key
+
+        reasoner = VadalogReasoner(program.copy())
+        plain = reasoner.reason(database=database, query=query, rewrite="none")
+        magic = reasoner.reason(database=database, query=query, rewrite="magic")
+        predicate = query.predicate
+        plain_ground = set(plain.ground_tuples(predicate))
+        magic_ground = set(magic.ground_tuples(predicate))
+        if plain_ground != magic_ground:
+            return sorted(plain_ground.symmetric_difference(magic_ground), key=repr)[0]
+        plain_patterns = {
+            pattern_key(f) for f in plain.answers.facts(predicate) if f.has_nulls
+        }
+        magic_patterns = {
+            pattern_key(f) for f in magic.answers.facts(predicate) if f.has_nulls
+        }
+        if plain_patterns != magic_patterns:
+            return ("<null-patterns>",)
+        return None
+
+    return diverges
+
+
+def shrink_and_report(
+    label: str,
+    seed: Optional[int],
+    program: Program,
+    database: Dict[str, Sequence[Tuple[object, ...]]],
+    query: Atom,
+    diverges=None,
+    max_checks: int = 400,
+    transform: str = "magic",
+) -> Tuple[MinimisationResult, str]:
+    """Shrink one diverging case and render its copy-pasteable repro."""
+    minimised = minimise_divergence(
+        program, database, query, diverges or magic_divergence_oracle(), max_checks
+    )
+    snippet = repro_snippet(
+        label,
+        seed,
+        minimised.program_text,
+        minimised.database,
+        minimised.query,
+        transform=transform,
+    )
+    return minimised, snippet
+
+
+_REGRESSION_TEMPLATE = '''"""Auto-generated regression — found by the translation-validation oracle.
+
+Source: {label}{seed_note}.  The magic-set rewriting must return the same
+certain answers as the unrewritten program on this minimised case; the
+divergence below was observed under a broken rewriting and shrunk by
+``repro.verify.minimize``.
+"""
+
+from repro.engine.reasoner import VadalogReasoner
+
+PROGRAM = """\\
+{program_text}
+"""
+
+DATABASE = {database_repr}
+
+QUERY = {query_text!r}
+
+
+def test_{name}():
+    reasoner = VadalogReasoner(PROGRAM)
+    plain = reasoner.reason(database=DATABASE, query=QUERY, rewrite="none")
+    magic = reasoner.reason(database=DATABASE, query=QUERY, rewrite="magic")
+    predicate = {predicate!r}
+    assert set(magic.ground_tuples(predicate)) == set(plain.ground_tuples(predicate))
+'''
+
+
+def write_regression(
+    directory: Path,
+    name: str,
+    label: str,
+    program_text: str,
+    database: Dict[str, Sequence[Tuple[object, ...]]],
+    query: Atom,
+    seed: Optional[int] = None,
+) -> Path:
+    """Write a standalone pytest regression for one shrunk divergence.
+
+    The generated test asserts magic-vs-plain agreement through the public
+    pipeline: it *fails* while the rewrite is broken and passes once fixed,
+    pinning the bug class forever.  ``name`` must be a valid identifier
+    suffix; the file lands at ``directory/test_regression_<name>.py``.
+    """
+    name = re.sub(r"[^0-9A-Za-z_]", "_", name)
+    database_repr = "{\n" + "".join(
+        f"    {predicate!r}: {sorted(rows, key=repr)!r},\n"
+        for predicate, rows in sorted(database.items())
+    ) + "}"
+    content = _REGRESSION_TEMPLATE.format(
+        label=label,
+        seed_note=f" (seed {seed})" if seed is not None else "",
+        program_text=program_text,
+        database_repr=database_repr,
+        query_text=unparse_atom(query),
+        name=name,
+        predicate=query.predicate,
+    )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"test_regression_{name}.py"
+    path.write_text(content, encoding="utf-8")
+    return path

@@ -1,0 +1,30 @@
+"""Auto-generated regression — found by the translation-validation oracle.
+
+Source: oracle self-test (injected unsound demand-rule drop).  The magic-set rewriting must return the same
+certain answers as the unrewritten program on this minimised case; the
+divergence below was observed under a broken rewriting and shrunk by
+``repro.verify.minimize``.
+"""
+
+from repro.engine.reasoner import VadalogReasoner
+
+PROGRAM = """\
+@output("P").
+P(X, Y) :- E(X, Y).
+P(X, Z) :- E(X, Y), P(Y, Z).
+
+"""
+
+DATABASE = {
+    'E': [('_c0', 'a'), ('a', '_c0')],
+}
+
+QUERY = 'P("a", "a")'
+
+
+def test_magic_demand_drop():
+    reasoner = VadalogReasoner(PROGRAM)
+    plain = reasoner.reason(database=DATABASE, query=QUERY, rewrite="none")
+    magic = reasoner.reason(database=DATABASE, query=QUERY, rewrite="magic")
+    predicate = 'P'
+    assert set(magic.ground_tuples(predicate)) == set(plain.ground_tuples(predicate))

@@ -1,9 +1,8 @@
 """Randomised differential tests over generated warded programs.
 
-A seeded generator produces small warded Datalog± programs (joins,
-projections, recursion, constants, and existential rules fed from the
-extensional layer so the chase provably terminates) together with random
-databases, and asserts over ~100 deterministic cases:
+The deterministic corpus lives in :mod:`repro.testing.fuzz` (shared with the
+translation-validation oracle and the ``tools/check_equiv.py`` CLI); this
+suite asserts over its ~100 cases:
 
 * **parse → unparse → parse round-trip** — ``unparse_program`` renders a
   program whose re-parse unparse-renders identically (a fixpoint), with the
@@ -11,183 +10,128 @@ databases, and asserts over ~100 deterministic cases:
 * **naive vs compiled** — the two identically-ordered chase executors
   derive the same store (ground facts exactly, null witnesses up to
   isomorphism);
+* **streaming and parallel (2 workers) vs compiled** — answer-level
+  agreement per output predicate: ground answers exactly, null answer
+  patterns exactly.  The iso *multiset* is exempt for these two executors —
+  they enumerate duplicate joins in a different order than the sequential
+  chase and may retain a different multiset of homomorphically equivalent
+  witnesses (same exemption as ``differential_harness``'s
+  ``ORDER_SENSITIVE_NULLS`` / ``PARALLEL_ORDER_SENSITIVE_NULLS``);
 * **magic vs unrewritten** — for a generated point query,
   ``rewrite="magic"`` returns the same certain answers and null patterns
-  as ``rewrite="none"``.
+  as ``rewrite="none"``;
+* **symbolic oracle** (slice) — the bounded equivalence checker of
+  :mod:`repro.verify` finds no counterexample to the magic rewriting.
 
-Every case is derived from a fixed master seed, so a CI failure names a
-case index that reproduces locally bit-for-bit.
+Any differential failure is shrunk by ``repro.verify.minimize`` and the
+assertion message embeds a copy-pasteable repro snippet naming the case
+seed, so a CI failure reproduces locally bit-for-bit.
 """
-
-import random
 
 import pytest
 
 from differential_harness import _profile_facts
-from repro.core.atoms import Atom, Position
+from repro.core.atoms import Position
 from repro.core.isomorphism import pattern_key
 from repro.core.parser import parse_program, unparse_program
-from repro.core.terms import Constant, Variable
 from repro.core.wardedness import analyse_program
 from repro.engine.reasoner import VadalogReasoner
+from repro.testing.fuzz import (
+    CONSTANTS,
+    MASTER_SEED,
+    N_CASES,
+    generate_case,
+    point_query,
+)
+from repro.verify import oracle as verify_oracle
 
-MASTER_SEED = 20260726
-N_CASES = 100
-CONSTANTS = ["a", "b", "c", "d", "e", 1, 2, 3]
+__all__ = ["MASTER_SEED", "N_CASES", "CONSTANTS"]
 
-
-def _random_database(rng, predicates):
-    """A small random database: 2–6 facts per extensional predicate."""
-    database = {}
-    for name, arity in predicates.items():
-        rows = set()
-        for _ in range(rng.randint(2, 6)):
-            rows.add(tuple(rng.choice(CONSTANTS) for _ in range(arity)))
-        database[name] = sorted(rows, key=repr)
-    return database
-
-
-def _variables(n):
-    return [Variable(f"V{i}") for i in range(n)]
+#: Executors whose answer profiles are compared at pattern level only (no
+#: iso-multiset equality): their join enumeration order differs from the
+#: sequential chase, so duplicate null witnesses may be retained in
+#: different multiplicities.
+ORDER_SENSITIVE_EXECUTORS = ("streaming", "parallel")
 
 
-def _random_program(rng):
-    """Generate one warded program (text) plus its extensional schema.
-
-    Structure: 2–3 extensional predicates; an optional existential rule fed
-    only from the extensional layer (bounded null depth, so the warded
-    chase terminates regardless of the rest); 2–4 plain Datalog rules
-    (copy/permutation, join, or linear recursion) over everything defined
-    so far, with occasional constants in bodies.
-    """
-    edb = {f"E{i}": rng.randint(1, 3) for i in range(rng.randint(2, 3))}
-    idb = {}
-    rules = []
-
-    def atom_for(name, arity, vars_pool):
-        terms = []
-        for _ in range(arity):
-            if rng.random() < 0.15:
-                terms.append(Constant(rng.choice(CONSTANTS)))
-            else:
-                terms.append(rng.choice(vars_pool))
-        return Atom(name, terms)
-
-    # Optional existential layer (EDB bodies only).
-    if rng.random() < 0.5:
-        source = rng.choice(sorted(edb))
-        arity = edb[source]
-        head_arity = rng.randint(max(1, arity), arity + 1)
-        name = f"X{len(idb)}"
-        body_vars = _variables(arity)
-        head_terms = list(body_vars[: head_arity - 1]) or [body_vars[0]]
-        head_terms.append(Variable("Z"))  # existential witness
-        rules.append((Atom(name, head_terms[:head_arity]), [Atom(source, body_vars)]))
-        idb[name] = head_arity
-
-    # Plain Datalog layer.
-    for index in range(rng.randint(2, 4)):
-        defined = {**edb, **idb}
-        kind = rng.choice(["copy", "join", "recursive"])
-        name = f"P{index}"
-        if kind == "copy":
-            source = rng.choice(sorted(defined))
-            arity = defined[source]
-            body_vars = _variables(arity)
-            head_vars = rng.sample(body_vars, k=rng.randint(1, arity))
-            rules.append((Atom(name, head_vars), [atom_for(source, arity, body_vars)]))
-            idb[name] = len(head_vars)
-        elif kind == "join":
-            left = rng.choice(sorted(defined))
-            right = rng.choice(sorted(defined))
-            lv = _variables(defined[left])
-            rv = _variables(defined[left] + defined[right])[defined[left]:]
-            if lv and rv:
-                rv[0] = lv[-1]  # shared join variable
-            head_pool = list(dict.fromkeys(lv + rv))
-            head_vars = rng.sample(head_pool, k=rng.randint(1, min(3, len(head_pool))))
-            rules.append(
-                (
-                    Atom(name, head_vars),
-                    [Atom(left, lv), atom_for(right, defined[right], rv)],
-                )
-            )
-            idb[name] = len(head_vars)
-        else:
-            binary_edb = [n for n, a in edb.items() if a == 2]
-            if not binary_edb:
-                continue
-            edge = rng.choice(binary_edb)
-            x, y, z = Variable("A"), Variable("B"), Variable("C")
-            rules.append((Atom(name, (x, y)), [Atom(edge, (x, y))]))
-            rules.append((Atom(name, (x, z)), [Atom(name, (x, y)), Atom(edge, (y, z))]))
-            idb[name] = 2
-
-    lines = []
-    for head, body in rules:
-        body_text = ", ".join(
-            f"{a.predicate}({', '.join(_term_text(t) for t in a.terms)})" for a in body
-        )
-        head_text = f"{head.predicate}({', '.join(_term_text(t) for t in head.terms)})"
-        lines.append(f"{head_text} :- {body_text}.")
-    for name in sorted(idb):
-        lines.append(f'@output("{name}").')
-    return "\n".join(lines), edb, idb
+def _reasoner_kwargs(executor):
+    return {"parallelism": 2} if executor == "parallel" else {}
 
 
-def _term_text(term):
-    if isinstance(term, Variable):
-        return term.name
-    value = term.value
-    return f'"{value}"' if isinstance(value, str) else str(value)
-
-
-def _generate_case(index):
-    """Deterministically generate warded case ``index`` (retry until warded)."""
-    for attempt in range(50):
-        rng = random.Random(MASTER_SEED + index * 1009 + attempt)
-        text, edb, idb = _random_program(rng)
-        if not idb:
-            continue
-        program = parse_program(text)
-        if not program.rules:
-            continue
-        if not analyse_program(program).is_warded:
-            continue
-        database = _random_database(rng, edb)
-        return text, program, database, edb, idb, rng
-    raise AssertionError(f"case {index}: no warded program within 50 attempts")
+def _run(program, database, executor):
+    reasoner = VadalogReasoner(
+        program.copy(), executor=executor, **_reasoner_kwargs(executor)
+    )
+    return reasoner.reason(database=database)
 
 
 def _store_profile(program, database, executor):
-    reasoner = VadalogReasoner(program.copy(), executor=executor)
-    result = reasoner.reason(database=database)
-    ground, iso, _patterns = _profile_facts(result.chase.store)
-    return ground, iso, result
+    result = _run(program, database, executor)
+    ground, iso, patterns = _profile_facts(result.chase.store)
+    return ground, iso, patterns, result
 
 
-def _point_query(program, result, idb, rng):
-    """A bound query atom over a derived predicate, from actual answers."""
-    for predicate in sorted(idb):
-        facts = sorted(
-            (f for f in result.chase.store.by_predicate(predicate) if not f.has_nulls),
-            key=repr,
+def _answer_profile(result, predicates):
+    """Per-output-predicate (ground, iso, patterns) over the *answers*."""
+    profile = {}
+    for predicate in sorted(predicates):
+        profile[predicate] = _profile_facts(result.answers.facts(predicate))
+    return profile
+
+
+def _fail_with_repro(case, query, message, diverges, transform):
+    """Shrink the diverging case and fail with an embedded repro snippet."""
+    try:
+        minimised, snippet = verify_oracle.shrink_and_report(
+            f"fuzz case {case.index}",
+            case.seed,
+            case.program,
+            case.database,
+            query,
+            diverges=diverges,
+            transform=transform,
         )
-        if not facts:
-            continue
-        sample = facts[rng.randrange(len(facts))]
-        position = rng.randrange(sample.arity)
-        terms = [
-            sample.terms[i] if i == position else Variable(f"Q{i}")
-            for i in range(sample.arity)
-        ]
-        return Atom(predicate, terms)
-    return None
+    except Exception as error:  # shrinker must never mask the real failure
+        pytest.fail(f"{message}\n(shrinker failed: {error!r})")
+    before, after = minimised.reduction
+    pytest.fail(
+        f"{message}\n"
+        f"shrunk {before[0]} rules/{before[1]} facts -> "
+        f"{after[0]} rules/{after[1]} facts in {minimised.checks} checks; repro:\n"
+        f"{snippet}"
+    )
+
+
+def _executor_diverges(executor, predicates):
+    """Divergence oracle: ``executor`` vs compiled, answers per output."""
+
+    def diverges(program, database, query):
+        reference = _run(program, database, "compiled")
+        candidate = _run(program, database, executor)
+        check_iso = executor not in ORDER_SENSITIVE_EXECUTORS
+        for predicate in sorted(predicates):
+            ref_ground, ref_iso, ref_patterns = _profile_facts(
+                reference.answers.facts(predicate)
+            )
+            cand_ground, cand_iso, cand_patterns = _profile_facts(
+                candidate.answers.facts(predicate)
+            )
+            if ref_ground != cand_ground:
+                diff = ref_ground.symmetric_difference(cand_ground)
+                return sorted((f.values() for f in diff), key=repr)[0]
+            if ref_patterns != cand_patterns:
+                return ("<null-patterns>", predicate)
+            if check_iso and ref_iso != cand_iso:
+                return ("<null-multiset>", predicate)
+        return None
+
+    return diverges
 
 
 @pytest.mark.parametrize("index", range(N_CASES))
 def test_fuzz_case(index):
-    text, program, database, edb, idb, rng = _generate_case(index)
+    case = generate_case(index)
+    program, database = case.program, case.database
 
     # ---- parse → unparse → parse round-trip ------------------------------
     rendered = unparse_program(program)
@@ -198,36 +142,100 @@ def test_fuzz_case(index):
     assert [f.terms for f in reparsed.facts] == [f.terms for f in program.facts]
 
     # ---- naive vs compiled over the full store ---------------------------
-    ground_naive, iso_naive, _ = _store_profile(program, database, "naive")
-    ground_compiled, iso_compiled, result = _store_profile(
+    ground_naive, iso_naive, _, _ = _store_profile(program, database, "naive")
+    ground_compiled, iso_compiled, _, result = _store_profile(
         program, database, "compiled"
     )
     assert ground_compiled == ground_naive, f"case {index}: ground facts differ"
     assert iso_compiled == iso_naive, f"case {index}: null profiles differ"
 
     # ---- magic vs unrewritten on a generated point query -----------------
-    query = _point_query(program, result, idb, rng)
+    query = point_query(case, result)
     if query is None:
         return  # nothing derivable to ask about; round-trip still covered
     reasoner = VadalogReasoner(program.copy())
     plain = reasoner.reason(database=database, query=query, rewrite="none")
     magic = reasoner.reason(database=database, query=query, rewrite="magic")
     predicate = query.predicate
-    assert magic.ground_tuples(predicate) == plain.ground_tuples(predicate), (
-        f"case {index}: certain answers differ under magic for {query!r}"
-    )
+    if magic.ground_tuples(predicate) != plain.ground_tuples(predicate):
+        _fail_with_repro(
+            case,
+            query,
+            f"case {index} (seed {case.seed}): certain answers differ under "
+            f"magic for {query!r}",
+            diverges=None,  # default magic-vs-plain oracle
+            transform="magic",
+        )
     plain_patterns = {
         pattern_key(f) for f in plain.answers.facts(predicate) if f.has_nulls
     }
     magic_patterns = {
         pattern_key(f) for f in magic.answers.facts(predicate) if f.has_nulls
     }
-    assert magic_patterns == plain_patterns, (
-        f"case {index}: null answer patterns differ under magic for {query!r}"
-    )
+    if magic_patterns != plain_patterns:
+        _fail_with_repro(
+            case,
+            query,
+            f"case {index} (seed {case.seed}): null answer patterns differ "
+            f"under magic for {query!r}",
+            diverges=None,
+            transform="magic",
+        )
     if magic.magic_rewriting is not None and magic.magic_rewriting.changed:
         # Bound adornments must never touch affected (null-hosting) positions.
         affected = analyse_program(program).affected
         for pred, bound in magic.magic_rewriting.adornments.items():
             for position in bound:
                 assert Position(pred, position) not in affected
+
+
+@pytest.mark.parametrize("executor", ORDER_SENSITIVE_EXECUTORS)
+@pytest.mark.parametrize("index", range(0, N_CASES, 2))
+def test_fuzz_executor_matrix(index, executor):
+    """Streaming/parallel answers agree with compiled on every other case.
+
+    Ground answers and null answer patterns must match exactly per output
+    predicate; the iso multiset is exempt (order-sensitive executors).
+    """
+    case = generate_case(index)
+    reference = _run(case.program, case.database, "compiled")
+    candidate = _run(case.program, case.database, executor)
+    ref_profile = _answer_profile(reference, case.idb)
+    cand_profile = _answer_profile(candidate, case.idb)
+    for predicate in sorted(case.idb):
+        ref_ground, _, ref_patterns = ref_profile[predicate]
+        cand_ground, _, cand_patterns = cand_profile[predicate]
+        if ref_ground != cand_ground or ref_patterns != cand_patterns:
+            from repro.core.atoms import Atom
+            from repro.core.terms import Variable
+
+            arity = case.idb[predicate]
+            probe = Atom(predicate, [Variable(f"Q{i}") for i in range(arity)])
+            _fail_with_repro(
+                case,
+                probe,
+                f"case {index} (seed {case.seed}): executor {executor} "
+                f"disagrees with compiled on {predicate}",
+                diverges=_executor_diverges(executor, case.idb),
+                transform=executor,
+            )
+
+
+@pytest.mark.parametrize("index", range(25))
+def test_fuzz_symbolic_oracle(index):
+    """The bounded translation-validation oracle finds no magic divergence.
+
+    ``backend="auto"`` works without z3: small encodings are solved
+    exhaustively, the rest fall back to concrete enumeration — either way a
+    ``counterexample`` verdict means the rewriting is actually wrong (the
+    decoded database is replayed through the real chase before reporting).
+    """
+    outcome = verify_oracle.check_fuzz_case(index, backend="auto", samples=40)
+    if outcome.skipped:
+        pytest.skip(f"case {index}: no derivable point query")
+    report = outcome.report
+    assert report.verdict != "counterexample", (
+        f"case {index} (seed {outcome.seed}): magic rewriting diverges on "
+        f"{report.counterexample.database!r} "
+        f"(witness {report.counterexample.witness!r})"
+    )

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.core.parser import VadalogSyntaxError, parse_fact, parse_program, parse_rule
+from repro.core.parser import (
+    VadalogSyntaxError,
+    parse_atom,
+    parse_fact,
+    parse_program,
+    parse_rule,
+    unparse_atom,
+    unparse_program,
+)
 from repro.core.terms import Constant, Variable
 
 
@@ -132,3 +140,97 @@ class TestErrors:
         program = parse_program("Control(X, Y) :- Own(X, Y, W), W > 0.5.")
         text = str(program)
         assert "Control" in text and ":-" in text
+
+
+class TestRoundTripEdgeCases:
+    """Round-trip (parse → unparse → parse) must preserve values exactly.
+
+    The unparser must emit text the parser decodes back to equal terms —
+    including escapes, which ``repr``-based rendering used to get wrong
+    (backslashes doubled on every round-trip).
+    """
+
+    @staticmethod
+    def _round_trip(text):
+        first = parse_program(text)
+        rendered = unparse_program(first)
+        second = parse_program(rendered)
+        assert unparse_program(second) == rendered, "unparse is not a fixpoint"
+        return first, second
+
+    def test_negative_numeric_literals_in_conditions(self):
+        first, second = self._round_trip(
+            "P(X, Y) :- E(X, Y), Y > -2, X >= -1.5, Z = (Y * -3)."
+        )
+        rule = second.rules[0]
+        assert rule.conditions[0].holds({Variable("Y"): Constant(0)})
+        assert not rule.conditions[0].holds({Variable("Y"): Constant(-5)})
+        assert rule.conditions[1].holds({Variable("X"): Constant(-1.5)})
+
+    def test_negative_number_as_term(self):
+        first, second = self._round_trip("P(-3, -1.5).")
+        assert second.facts[0].terms == (Constant(-3), Constant(-1.5))
+
+    def test_quoted_constants_with_commas(self):
+        first, second = self._round_trip('P("a,b", "c, d, e") :- E("x,y").')
+        head = second.rules[0].head[0]
+        assert head.terms[0] == Constant("a,b")
+        assert head.terms[1] == Constant("c, d, e")
+        assert second.rules[0].body[0].terms[0] == Constant("x,y")
+
+    def test_quoted_constants_with_escapes(self):
+        text = (
+            r'P(X) :- E(X, "he said \"hi\""), F(X, "back\\slash"), '
+            r'G(X, "tab\there", "line\nbreak").'
+        )
+        first, second = self._round_trip(text)
+        body = second.rules[0].body
+        assert body[0].terms[1] == Constant('he said "hi"')
+        assert body[1].terms[1] == Constant("back\\slash")
+        assert body[2].terms[1] == Constant("tab\there")
+        assert body[2].terms[2] == Constant("line\nbreak")
+
+    def test_single_quoted_string_with_double_quotes(self):
+        first, second = self._round_trip("P(X) :- E(X, 'say \"hi\"').")
+        assert second.rules[0].body[0].terms[1] == Constant('say "hi"')
+
+    def test_escapes_stable_over_many_round_trips(self):
+        # The historical bug: backslashes doubled on every round-trip.
+        text = r'P(X) :- E(X, "a\\b").'
+        program = parse_program(text)
+        value = program.rules[0].body[0].terms[1].value
+        assert value == "a\\b"
+        for _ in range(4):
+            rendered = unparse_program(program)
+            program = parse_program(rendered)
+            assert program.rules[0].body[0].terms[1].value == "a\\b"
+
+    def test_escaped_strings_in_conditions_and_annotations(self):
+        text = r'@bind("Own", "csv", "dir\\own.csv").' + "\n"
+        text += r'P(X) :- Own(X, Y), Y != "a\"b".'
+        first, second = self._round_trip(text)
+        annotation = [a for a in second.annotations if a.name == "bind"][0]
+        assert annotation.arguments[2] == "dir\\own.csv"
+        condition = second.rules[0].conditions[0]
+        assert condition.holds({Variable("Y"): Constant("other")})
+        assert not condition.holds({Variable("Y"): Constant('a"b')})
+
+    def test_zero_arity_atoms(self):
+        first, second = self._round_trip('Start().\nQ() :- Start(), E(X).\n@output("Q").')
+        assert second.facts[0].predicate == "Start"
+        assert second.facts[0].terms == ()
+        assert second.rules[0].head[0].predicate == "Q"
+        assert second.rules[0].head[0].arity == 0
+
+    def test_zero_arity_runs_through_reasoner(self):
+        from repro.engine.reasoner import VadalogReasoner
+
+        result = VadalogReasoner(
+            'Q() :- Start(), E(X).\n@output("Q").'
+        ).reason(database={"Start": [()], "E": [("a",)]})
+        assert set(result.ground_tuples("Q")) == {()}
+
+    def test_unparse_atom_escapes(self):
+        atom = parse_atom('P("x,y", "a\\"b", Z)')
+        rendered = unparse_atom(atom)
+        assert parse_atom(rendered).terms == atom.terms

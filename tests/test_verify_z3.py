@@ -1,0 +1,87 @@
+"""z3-backed translation validation over the fuzz corpus (optional extra).
+
+Skipped wholesale unless ``z3-solver`` is installed (``pip install -e
+.[verify]``); the CI ``verify`` job installs it and runs this module plus
+``tools/check_equiv.py``.  With z3 available the oracle proves
+magic-vs-original equivalence (UNSAT of the divergence goal) — not merely
+"no counterexample found" — for every encodable corpus case at the
+acceptance bound k=3.
+"""
+
+import pytest
+
+z3 = pytest.importorskip("z3")
+
+from repro.verify.encode import Bounds, encode_task, py_eval, to_z3  # noqa: E402
+from repro.verify.equiv import check_equivalence, magic_task  # noqa: E402
+from repro.verify.oracle import DEFAULT_BOUNDS, sweep  # noqa: E402
+
+#: Corpus prefix swept with z3; ≥25 proved-equivalent pairs is the
+#: acceptance bar (skipped cases have no derivable point query and
+#: enumerate-fallback cases have encodings beyond the firing budget).
+#: Measured without z3: 45 of the first 60 cases encode cleanly, so the
+#: bar holds with wide margin even if a few solves time out.
+SWEEP_CASES = 60
+
+TC_PROGRAM = """\
+P(X, Y) :- E(X, Y).
+P(X, Z) :- E(X, Y), P(Y, Z).
+@output("P").
+"""
+
+
+def test_to_z3_agrees_with_py_eval():
+    task = magic_task(TC_PROGRAM, 'P("a", Z)', unsound=True)
+    encoding = encode_task(task, Bounds(k_facts=2, extra_constants=1, rounds=4))
+    solver = z3.Solver()
+    for constraint in encoding.constraints:
+        solver.add(to_z3(constraint, z3))
+    solver.add(to_z3(encoding.goal, z3))
+    assert solver.check() == z3.sat
+    model = solver.model()
+    assignment = {
+        name: bool(model.eval(z3.Bool(name), model_completion=True))
+        for name in encoding.selector_names()
+    }
+    assert py_eval(encoding.goal, assignment)
+
+
+def test_sound_magic_unsat():
+    report = check_equivalence(
+        magic_task(TC_PROGRAM, 'P("a", Z)'),
+        bounds=Bounds(k_facts=3, extra_constants=2, rounds=5),
+        backend="z3",
+    )
+    assert report.verdict == "equivalent"
+    assert report.backend == "z3"
+
+
+def test_unsound_magic_sat_with_confirmed_model():
+    report = check_equivalence(
+        magic_task(TC_PROGRAM, 'P("a", Z)', unsound=True),
+        bounds=Bounds(k_facts=2, extra_constants=1, rounds=4),
+        backend="z3",
+    )
+    assert report.verdict == "counterexample"
+    assert report.counterexample.confirmed
+
+
+def test_corpus_sweep_proves_equivalence():
+    outcomes = sweep(range(SWEEP_CASES), backend="auto", bounds=DEFAULT_BOUNDS)
+    reports = [o.report for o in outcomes if o.report is not None]
+    counterexamples = [r for r in reports if r.verdict == "counterexample"]
+    assert not counterexamples, [
+        o.summary() for o in outcomes
+        if o.report is not None and o.report.verdict == "counterexample"
+    ]
+    # ≥25 *solver-backed* UNSAT proofs at k=3 (statically-proved cases,
+    # where the divergence goal simplifies to False, are on top of these).
+    solver_proved = sum(
+        1
+        for r in reports
+        if r.verdict == "equivalent" and r.backend in ("z3", "exhaustive")
+    )
+    assert solver_proved >= 25, (
+        f"only {solver_proved} of {SWEEP_CASES} cases solver-proved equivalent: "
+        + "; ".join(o.summary() for o in outcomes)
+    )

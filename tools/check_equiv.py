@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Translation-validation CLI: verify optimizer rewritings symbolically.
+
+Three modes:
+
+* single pair — verify one program/query against one transform::
+
+      PYTHONPATH=src python tools/check_equiv.py --program prog.vada \\
+          --query 'P("a", X)' --transform magic
+
+* corpus sweep — run the oracle over the first N fuzz cases (the same
+  deterministic corpus the fuzz suite uses)::
+
+      PYTHONPATH=src python tools/check_equiv.py --fuzz 25 --backend auto
+
+* self-test — inject a deliberately unsound magic rewriting and assert the
+  oracle finds (and shrinks) the divergence::
+
+      PYTHONPATH=src python tools/check_equiv.py --self-test
+
+Exit status: 0 when no counterexample was found (sweep/single) or the
+self-test found the injected bug; 1 otherwise.  ``--backend z3`` requires
+the optional extra (``pip install -e .[verify]``); ``auto`` degrades to
+exhaustive/enumerate solving without it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.verify.encode import Bounds  # noqa: E402
+from repro.verify.equiv import (  # noqa: E402
+    check_equivalence,
+    magic_task,
+    pushdown_task,
+    slice_task,
+)
+from repro.verify.oracle import (  # noqa: E402
+    DEFAULT_BOUNDS,
+    magic_divergence_oracle,
+    shrink_and_report,
+    sweep,
+)
+
+TASK_BUILDERS = {
+    "magic": magic_task,
+    "slice": slice_task,
+    "pushdown": pushdown_task,
+}
+
+SELF_TEST_PROGRAM = """\
+P(X, Y) :- E(X, Y).
+P(X, Z) :- E(X, Y), P(Y, Z).
+@output("P").
+"""
+
+
+def _bounds(args: argparse.Namespace) -> Bounds:
+    return Bounds(k_facts=args.k, rounds=args.rounds, extra_constants=args.extra)
+
+
+def _report_lines(report) -> str:
+    lines = [
+        f"verdict:  {report.verdict} (backend: {report.backend})",
+        f"checked:  {report.checked}",
+    ]
+    if report.stats:
+        lines.append(f"encoding: {report.stats}")
+    if report.notes:
+        lines.append(f"notes:    {report.notes}")
+    if report.counterexample is not None:
+        ce = report.counterexample
+        lines.append(f"database: {ce.database}")
+        lines.append(f"witness:  {ce.witness} missing in {ce.missing_in}")
+    return "\n".join(lines)
+
+
+def run_single(args: argparse.Namespace) -> int:
+    text = (
+        sys.stdin.read()
+        if args.program == "-"
+        else Path(args.program).read_text(encoding="utf-8")
+    )
+    builder = TASK_BUILDERS[args.transform]
+    task = builder(text, args.query)
+    report = check_equivalence(
+        task, bounds=_bounds(args), backend=args.backend, samples=args.samples
+    )
+    print(f"{task.name}: {task.detail}")
+    print(_report_lines(report))
+    return 1 if report.verdict == "counterexample" else 0
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    indices = range(args.fuzz)
+    outcomes = sweep(
+        indices, backend=args.backend, bounds=_bounds(args), samples=args.samples
+    )
+    counts: dict = {}
+    failed = 0
+    for outcome in outcomes:
+        verdict = "skipped" if outcome.report is None else outcome.report.verdict
+        counts[verdict] = counts.get(verdict, 0) + 1
+        if args.verbose or verdict == "counterexample":
+            print(outcome.summary())
+        if verdict == "counterexample":
+            failed += 1
+    total = len(outcomes)
+    print(
+        f"swept {total} cases: "
+        + ", ".join(f"{v}={n}" for v, n in sorted(counts.items()))
+    )
+    return 1 if failed else 0
+
+
+def run_self_test(args: argparse.Namespace) -> int:
+    """Prove the oracle catches a deliberately unsound rewriting."""
+    query = 'P("a", Z)'
+    bounds = Bounds(k_facts=args.k, rounds=args.rounds, extra_constants=1)
+
+    sound = check_equivalence(
+        magic_task(SELF_TEST_PROGRAM, query), bounds=bounds, backend=args.backend
+    )
+    print(f"sound rewrite:  {sound.verdict} via {sound.backend}")
+    if sound.verdict == "counterexample":
+        print("FAIL: sound rewriting reported a counterexample")
+        return 1
+
+    broken = check_equivalence(
+        magic_task(SELF_TEST_PROGRAM, query, unsound=True),
+        bounds=bounds,
+        backend=args.backend,
+    )
+    print(f"broken rewrite: {broken.verdict} via {broken.backend}")
+    if broken.verdict != "counterexample":
+        print("FAIL: injected unsound rewriting was not detected")
+        return 1
+    ce = broken.counterexample
+    print(f"counterexample: {ce.database} (witness {ce.witness})")
+
+    from repro.core.parser import parse_atom, parse_program
+
+    minimised, snippet = shrink_and_report(
+        "self-test",
+        None,
+        parse_program(SELF_TEST_PROGRAM),
+        ce.database,
+        parse_atom(query),
+        diverges=_broken_magic_oracle(),
+    )
+    print(
+        f"minimised to {len(minimised.program.rules)} rules / "
+        f"{sum(len(r) for r in minimised.database.values())} facts "
+        f"in {minimised.checks} checks"
+    )
+    print(snippet)
+    return 0
+
+
+def _broken_magic_oracle():
+    """Shrinker oracle replaying the *broken* rewriting explicitly."""
+    from repro.verify.equiv import concrete_divergence, magic_task as build
+
+    def diverges(program, database, query):
+        task = build(program, query, unsound=True)
+        counterexample = concrete_divergence(task, database)
+        return counterexample.witness if counterexample else None
+
+    return diverges
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--program", help="program file ('-' for stdin)")
+    parser.add_argument("--query", help="point query atom, e.g. 'P(\"a\", X)'")
+    parser.add_argument(
+        "--transform",
+        choices=sorted(TASK_BUILDERS),
+        default="magic",
+        help="which optimizer pass to validate (default: magic)",
+    )
+    parser.add_argument("--fuzz", type=int, help="sweep the first N fuzz cases")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the oracle catches an injected unsound rewriting",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "z3", "exhaustive", "enumerate"],
+        default="auto",
+    )
+    parser.add_argument("--k", type=int, default=DEFAULT_BOUNDS.k_facts)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_BOUNDS.rounds)
+    parser.add_argument("--extra", type=int, default=DEFAULT_BOUNDS.extra_constants)
+    parser.add_argument("--samples", type=int, default=60)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test(args)
+    if args.fuzz is not None:
+        return run_sweep(args)
+    if args.program and args.query:
+        return run_single(args)
+    parser.error("need --self-test, --fuzz N, or --program FILE --query ATOM")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine.reasoner import EXECUTORS, VadalogReasoner  # noqa: E402
+from repro.engine.service import ReasoningService  # noqa: E402
 from repro.obs.report import top_rules  # noqa: E402
 from repro.workloads import (  # noqa: E402
     arity_scenario,
@@ -82,6 +83,8 @@ from repro.workloads import (  # noqa: E402
     psc_point_query_scenario,
     psc_scenario,
     rule_count_scenario,
+    service_operations,
+    service_scenario,
     strong_links_scenario,
 )
 
@@ -212,6 +215,157 @@ MAGIC_EXECUTORS = ("compiled", "streaming", "parallel")
 TRACE_OVERHEAD_TARGET = 1.02
 TELEMETRY_EXECUTORS = ("compiled", "streaming", "parallel")
 TELEMETRY_RUNS = 3
+
+#: Service-throughput section (PR 9): the resident reasoner must sustain at
+#: least this many times the queries/sec of a from-scratch re-chase service
+#: on the mixed update/query workload.
+SERVICE_SPEEDUP_TARGET = 2.0
+SERVICE_DEFAULT_RATIOS = ("1:10",)
+
+
+def _parse_ratio(text: str):
+    updates, queries = text.split(":", 1)
+    return int(updates), int(queries)
+
+
+def _percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_service_resident(scenario, operations) -> dict:
+    """Drive the mixed stream through the resident ReasoningService."""
+    service = ReasoningService(scenario.program.copy(), database=scenario.database)
+    latencies = []
+    started = time.perf_counter()
+    for kind, payload in operations:
+        if kind == "upsert":
+            service.upsert(payload)
+        elif kind == "retract":
+            service.retract(payload)
+        else:
+            t0 = time.perf_counter()
+            service.query(payload)
+            latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - started
+    stats = service.stats()
+    return {
+        "elapsed_seconds": round(elapsed, 4),
+        "queries": len(latencies),
+        "queries_per_second": round(len(latencies) / elapsed, 1) if elapsed > 0 else None,
+        "p50_query_seconds": round(_percentile(latencies, 0.50), 6),
+        "p99_query_seconds": round(_percentile(latencies, 0.99), 6),
+        "cache_hits": stats["cache_hits"],
+        "invalidations": stats["invalidations"],
+        "overdeleted": stats["resident"]["overdeleted"],
+        "rederived": stats["resident"]["rederived"],
+        "final_reach": sorted(service.query().ground_tuples("Reach")),
+    }
+
+
+def _run_service_scratch(scenario, operations) -> dict:
+    """The from-scratch baseline: re-chase on the first query after a write.
+
+    This is the honest non-resident service: answers are memoized between
+    writes (anything less would strawman the baseline), but every write
+    invalidates the materialisation and the next query pays a full chase.
+    """
+    from repro.engine.reasoner import _filter_answers
+    from repro.core.parser import parse_atom
+
+    reasoner = VadalogReasoner(scenario.program.copy())
+    edges = {tuple(row) for row in scenario.database.relation("Edge")}
+    sources = [tuple(row) for row in scenario.database.relation("Source")]
+    result = None
+    latencies = []
+    started = time.perf_counter()
+    for kind, payload in operations:
+        if kind == "upsert":
+            edges.update(tuple(row) for row in payload.get("Edge", ()))
+            sources.extend(tuple(row) for row in payload.get("Source", ()))
+            result = None
+        elif kind == "retract":
+            edges.difference_update(tuple(row) for row in payload.get("Edge", ()))
+            result = None
+        else:
+            t0 = time.perf_counter()
+            if result is None:
+                result = reasoner.reason(
+                    database={"Edge": sorted(edges), "Source": sources},
+                    outputs=scenario.outputs,
+                )
+            answers = result.answers
+            if payload is not None:
+                answers = _filter_answers(answers, parse_atom(payload))
+            latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - started
+    final = reasoner.reason(
+        database={"Edge": sorted(edges), "Source": sources}, outputs=scenario.outputs
+    )
+    return {
+        "elapsed_seconds": round(elapsed, 4),
+        "queries": len(latencies),
+        "queries_per_second": round(len(latencies) / elapsed, 1) if elapsed > 0 else None,
+        "p50_query_seconds": round(_percentile(latencies, 0.50), 6),
+        "p99_query_seconds": round(_percentile(latencies, 0.99), 6),
+        "final_reach": sorted(final.answers.ground_tuples("Reach")),
+    }
+
+
+def run_service_throughput(smoke: bool, ratios=SERVICE_DEFAULT_RATIOS) -> dict:
+    """Resident vs from-scratch service loop at the given update:query ratios.
+
+    Both services replay the identical operation stream; the section
+    records sustained queries/sec, p50/p99 query latency and the resident
+    speedup, and asserts the two services agree on the final ``Reach``
+    relation (the ground differential check of the workload).
+    """
+    n_nodes = 30 if smoke else 50
+    n_ops = 150 if smoke else 400
+    section = {
+        "speedup_target": SERVICE_SPEEDUP_TARGET,
+        "n_nodes": n_nodes,
+        "n_ops": n_ops,
+        "ratios": {},
+    }
+    meets = []
+    for ratio_text in ratios:
+        ratio = _parse_ratio(ratio_text)
+        scenario = service_scenario(n_nodes=n_nodes)
+        operations = list(
+            service_operations(scenario, n_ops=n_ops, update_ratio=ratio)
+        )
+        print(f"== service throughput: update:query {ratio_text}", flush=True)
+        resident = _run_service_resident(scenario, operations)
+        scratch = _run_service_scratch(service_scenario(n_nodes=n_nodes), operations)
+        answers_identical = resident.pop("final_reach") == scratch.pop("final_reach")
+        speedup = (
+            round(resident["queries_per_second"] / scratch["queries_per_second"], 2)
+            if scratch["queries_per_second"]
+            else None
+        )
+        if speedup is not None and speedup >= SERVICE_SPEEDUP_TARGET:
+            meets.append(ratio_text)
+        section["ratios"][ratio_text] = {
+            "resident": resident,
+            "from_scratch": scratch,
+            "speedup_vs_scratch": speedup,
+            "answers_identical": answers_identical,
+        }
+        print(
+            f"   resident {resident['queries_per_second']} q/s "
+            f"(p50 {resident['p50_query_seconds'] * 1000:.2f}ms, "
+            f"p99 {resident['p99_query_seconds'] * 1000:.2f}ms) vs "
+            f"scratch {scratch['queries_per_second']} q/s — "
+            f"speedup {speedup}x, identical={answers_identical}",
+            flush=True,
+        )
+    section["ratios_meeting_target"] = meets
+    section["meets_2x_target"] = bool(meets)
+    return section
 
 
 def run_one(
@@ -601,11 +755,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o",
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR7.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR9.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
         "--only", nargs="*", help="run only the named scenarios", default=None
+    )
+    parser.add_argument(
+        "--service-ratios",
+        nargs="*",
+        default=list(SERVICE_DEFAULT_RATIOS),
+        metavar="U:Q",
+        help="update:query ratios of the service-throughput section "
+        "(e.g. 1:10 1:1 10:1)",
     )
     parser.add_argument(
         "--executor",
@@ -707,6 +869,9 @@ def main(argv=None) -> int:
     # Telemetry: traced vs untraced overhead + per-rule hot spots.
     telemetry_section = run_telemetry_comparison(args.smoke, executors, args.only)
 
+    # Service throughput: resident vs from-scratch mixed update/query loop.
+    service_section = run_service_throughput(args.smoke, args.service_ratios)
+
     # Datasource backends: memory vs SQLite equivalence + pushdown evidence.
     backend_section = run_backend_comparison(args.smoke)
     backends_match = all(
@@ -734,12 +899,13 @@ def main(argv=None) -> int:
     )
 
     report = {
-        "pr": 7,
+        "pr": 9,
         "description": (
-            "end-to-end reasoning telemetry (traced vs untraced overhead, "
-            "per-rule hot spots via span tracing) on top of the PR-5 "
-            "comparison matrix: magic-set rewriting, sequential/streaming/"
-            "parallel executors, worker sweep, datasource backends"
+            "resident incremental reasoner (semi-naive upserts, DRed "
+            "retractions, mixed update/query service throughput) on top of "
+            "the PR-7 comparison matrix: telemetry overhead, magic-set "
+            "rewriting, sequential/streaming/parallel executors, worker "
+            "sweep, datasource backends"
         ),
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
@@ -755,6 +921,7 @@ def main(argv=None) -> int:
         "parallel_worker_sweep": sweep_section,
         "magic_rewrite": magic_section,
         "telemetry": telemetry_section,
+        "service_throughput": service_section,
         "datasource_backends": backend_section,
         "sqlite_answers_match_memory": backends_match,
         "sqlite_pushdown_rows": pushdown_rows,
@@ -797,6 +964,11 @@ def main(argv=None) -> int:
             f"{telemetry_section['median_overhead_ratio']}x "
             f"(target ≤{TRACE_OVERHEAD_TARGET}x)"
         )
+    meets_service = service_section["ratios_meeting_target"]
+    print(
+        f"service throughput at ≥{SERVICE_SPEEDUP_TARGET}x over from-scratch: "
+        f"{', '.join(meets_service) if meets_service else 'none'}"
+    )
     return 0
 
 

@@ -47,7 +47,13 @@ from .core import (
     run_chase,
     universal_answer,
 )
-from .engine import ReasoningResult, VadalogReasoner, reason
+from .engine import (
+    ReasoningResult,
+    ReasoningService,
+    ResidentReasoner,
+    VadalogReasoner,
+    reason,
+)
 from .obs import JsonlTraceSink, MetricsRegistry, Tracer, render_trace
 from .storage import Database, Relation
 
@@ -82,6 +88,8 @@ __all__ = [
     "run_chase",
     "universal_answer",
     "ReasoningResult",
+    "ReasoningService",
+    "ResidentReasoner",
     "VadalogReasoner",
     "reason",
     "JsonlTraceSink",

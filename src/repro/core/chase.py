@@ -205,6 +205,13 @@ class ChaseEngine:
         #: for ungoverned runs, so callers of :meth:`fire_binding` (the
         #: streaming pipeline) pay nothing.
         self._governor: Optional[ExecutionGovernor] = None
+        #: Set by :meth:`continue_rounds` around a DRed rederivation round:
+        #: the delta is the whole store, so per-atom seed plans would
+        #: enumerate each join ``body_length`` times over; full-join mode
+        #: seeds only the first plan with the predicate's full extent (the
+        #: before-seed restriction passes everything — every resident fact
+        #: is stamped with an earlier round — so one seed covers the join).
+        self._full_join_round = False
         self.aggregates = AggregateRegistry()
         self._database_facts = list(database) + list(program.facts)
         self._rule_analyses: Dict[int, RuleAnalysis] = {
@@ -354,6 +361,51 @@ class ChaseEngine:
             )
         return result
 
+    def continue_rounds(
+        self,
+        store: FactStore,
+        node_of: Dict[Fact, ChaseNode],
+        delta: List[ChaseNode],
+        result: ChaseResult,
+        start_round: int,
+        rules: Optional[List[Rule]] = None,
+    ) -> int:
+        """Run semi-naive rounds seeded with ``delta`` until fixpoint.
+
+        This is the incremental-continuation entry point used by the
+        resident reasoner (:mod:`repro.engine.incremental`): ``delta`` are
+        facts that just entered an already-materialised ``store`` (upserted
+        inputs, or the rederivation front of a retraction) and
+        ``start_round`` is the last completed round, so round numbering —
+        and with it the store's round stamps driving the before-seed probe
+        restriction — stays monotone across maintenance operations.
+
+        ``rules`` restricts the *first* round to a subset of the program
+        (the DRed rederivation phase only fires rules whose head predicate
+        was deleted); later rounds always run the full program.  Returns the
+        index of the last evaluated round.
+        """
+        round_index = start_round
+        first_restriction = rules
+        while delta:
+            round_index += 1
+            if self.config.max_rounds is not None and round_index > self.config.max_rounds:
+                raise ChaseLimitError(
+                    f"chase exceeded the configured maximum of {self.config.max_rounds} rounds"
+                )
+            self._full_join_round = first_restriction is not None
+            try:
+                delta = self._evaluate_round(
+                    store, node_of, delta, round_index, result, rules=first_restriction
+                )
+            finally:
+                self._full_join_round = False
+            first_restriction = None
+            if len(store) > result.peak_resident_facts:
+                result.peak_resident_facts = len(store)
+        result.rounds = round_index
+        return round_index
+
     def _evaluate_round(
         self,
         store: FactStore,
@@ -361,6 +413,7 @@ class ChaseEngine:
         delta: List[ChaseNode],
         round_index: int,
         result: ChaseResult,
+        rules: Optional[List[Rule]] = None,
     ) -> List[ChaseNode]:
         """Evaluate one semi-naive round; returns the nodes it derived.
 
@@ -381,7 +434,7 @@ class ChaseEngine:
             store.begin_round(round_index, delta_facts)
         new_nodes: List[ChaseNode] = []
         tracer = self.tracer
-        for rule in self.program.rules:
+        for rule in (self.program.rules if rules is None else rules):
             if tracer is None:
                 produced = self._apply_rule(
                     rule, store, node_of, delta_by_predicate, round_index, result
@@ -454,7 +507,8 @@ class ChaseEngine:
         body = rule.relational_body
         governor = self._governor
         tick = governor.tick if governor is not None else None
-        for seed_index in range(len(body)):
+        seed_range = range(1) if self._full_join_round else range(len(body))
+        for seed_index in seed_range:
             for binding, used_facts in self._matches(
                 rule, body, seed_index, store, delta_by_predicate, round_index
             ):
@@ -496,9 +550,17 @@ class ChaseEngine:
         produced: List[ChaseNode] = []
         governor = self._governor
         tick = governor.tick if governor is not None else None
+        seed_lists = None
+        if self._full_join_round and plan.seed_plans:
+            # DRed full round: one seed plan over the predicate's full
+            # extent replaces body_length delta-seeded passes (see
+            # ``_full_join_round``); admission checks still run per fact.
+            seed_lists = [()] * len(plan.seed_plans)
+            # Copied: the store's bucket grows as the round admits facts.
+            seed_lists[0] = list(store.by_predicate(plan.seed_plans[0].seed.predicate))
         if plan.simple_fire:
             fire = self._fire_compiled
-            for slots, used_facts in executor.matches(store, round_index):
+            for slots, used_facts in executor.matches(store, round_index, seed_lists):
                 if tick is not None:
                     tick()
                 fire(
@@ -507,7 +569,7 @@ class ChaseEngine:
                 )
             return produced
         residual = plan.residual_conditions
-        for binding, used_facts in executor.bindings(store, round_index):
+        for binding, used_facts in executor.bindings(store, round_index, seed_lists):
             if tick is not None:
                 tick()
             if residual and not all(c.holds(binding) for c in residual):

@@ -67,6 +67,12 @@ class FactStore:
         # predicate -> list of per-position {term: [facts]} dictionaries
         self._position_index: Dict[str, List[Dict[Term, List[Fact]]]] = {}
         self._active_domain: Set[Hashable] = set()
+        # Occurrence counts backing the active domain: retraction may only
+        # drop a constant when its last occurrence leaves the store.
+        self._domain_counts: Dict[Hashable, int] = {}
+        # Number of live (non-tombstoned) entries of ``_facts``; removal
+        # tombstones the slot to keep row indexes stable (see :meth:`remove`).
+        self._live: int = 0
         self._facts_cache: Optional[Tuple[Fact, ...]] = None
         # -- semi-naive round bookkeeping (driven by the chase engine) -------
         self.current_round: int = 0
@@ -107,11 +113,68 @@ class FactStore:
                 bucket.append(fact)
             if isinstance(term, Constant):
                 self._active_domain.add(term.value)
+                self._domain_counts[term.value] = self._domain_counts.get(term.value, 0) + 1
+        self._live += 1
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
         """Insert many facts, returning the number actually added."""
         return sum(1 for fact in facts if self.add(fact))
+
+    def remove(self, fact: Fact) -> bool:
+        """Retract a fact; returns ``False`` when it is not in the store.
+
+        Removal is the mutation primitive of the resident reasoner's DRed
+        path (:mod:`repro.engine.incremental`).  The fact's slot in the
+        insertion sequence is tombstoned (``None``) rather than compacted so
+        :meth:`index_of_row` positions handed out earlier stay valid for the
+        surviving facts; iteration and :meth:`facts` skip tombstones.  Every
+        removal bumps the mutation epoch, so snapshots taken before it go
+        stale exactly like they do for inserts.
+        """
+        key = (fact.predicate, fact.terms)
+        index = self._rows.pop(key, None)
+        if index is None:
+            return False
+        self._epoch += 1
+        stored = self._facts[index]
+        self._facts[index] = None
+        self._facts_cache = None
+        self._live -= 1
+        self._round_of.pop(stored, None)
+        bucket = self._by_predicate.get(stored.predicate)
+        if bucket is not None:
+            try:
+                bucket.remove(stored)
+            except ValueError:  # pragma: no cover - index kept in lockstep
+                pass
+        position_dicts = self._position_index.get(stored.predicate)
+        for position, term in enumerate(stored.terms):
+            if position_dicts is not None and position < len(position_dicts):
+                entries = position_dicts[position].get(term)
+                if entries is not None:
+                    try:
+                        entries.remove(stored)
+                    except ValueError:  # pragma: no cover
+                        pass
+                    if not entries:
+                        del position_dicts[position][term]
+            if isinstance(term, Constant):
+                count = self._domain_counts.get(term.value, 0) - 1
+                if count <= 0:
+                    self._domain_counts.pop(term.value, None)
+                    self._active_domain.discard(term.value)
+                else:
+                    self._domain_counts[term.value] = count
+        delta_bucket = self._delta_by_predicate.get(stored.predicate)
+        if delta_bucket is not None and stored in delta_bucket:
+            delta_bucket.remove(stored)
+            self._delta_index.pop(stored.predicate, None)
+        return True
+
+    def remove_all(self, facts: Iterable[Fact]) -> int:
+        """Retract many facts, returning the number actually removed."""
+        return sum(1 for fact in facts if self.remove(fact))
 
     # -- inspection ----------------------------------------------------------
     def __contains__(self, fact: Fact) -> bool:
@@ -127,18 +190,22 @@ class FactStore:
         return (predicate, terms) in self._rows
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return self._live
 
     def __iter__(self) -> Iterator[Fact]:
-        return iter(self._facts)
+        return iter(self.facts())
 
     def facts(self) -> Tuple[Fact, ...]:
         if self._facts_cache is None:
-            self._facts_cache = tuple(self._facts)
+            self._facts_cache = tuple(f for f in self._facts if f is not None)
         return self._facts_cache
 
     def fact_at(self, index: int) -> Fact:
-        """The fact at insertion position ``index`` (see :meth:`index_of_row`)."""
+        """The fact at insertion position ``index`` (see :meth:`index_of_row`).
+
+        Positions of removed facts resolve to ``None``; live positions stay
+        stable across removals (removal tombstones, it never compacts).
+        """
         return self._facts[index]
 
     def index_of_row(self, predicate: str, terms: Tuple[Term, ...]) -> int:
@@ -273,7 +340,7 @@ class FactStore:
             yield merged
 
     def copy(self) -> "FactStore":
-        return FactStore(self._facts)
+        return FactStore(self.facts())
 
     # -- read-snapshot / write-batch protocol --------------------------------
     @property

@@ -82,6 +82,68 @@ class StopProvenanceSet:
         return any(is_strict_prefix(provenance, stored) for stored in self._provenances)
 
 
+class DerivationIndex:
+    """Reverse adjacency over recorded chase derivations (the DRed substrate).
+
+    The chase records, for every derived fact, the single derivation that
+    produced it first (:class:`repro.core.forests.ChaseNode.parents` — the
+    body facts of the generating step).  This index inverts those edges:
+    ``children_of(f)`` is every fact whose *recorded* derivation used ``f``
+    in its body.  Delete-and-rederive (:mod:`repro.engine.incremental`) uses
+    it for the overdeletion phase: a derived fact is overdeleted when any
+    parent of its recorded derivation is deleted, and the closure of that
+    rule over a retracted set is exactly a traversal of this index.
+
+    The index is sound for overdeletion because the chase keeps a *single*
+    justification per fact and every surviving fact's recorded parents
+    survive by construction of the closure — so every survivor still has an
+    intact recorded derivation grounded in surviving extensional facts.
+    """
+
+    def __init__(self) -> None:
+        self._children: dict = {}
+
+    def record(self, fact, parent_facts) -> None:
+        """Record that ``fact``'s derivation consumed ``parent_facts``."""
+        for parent in parent_facts:
+            bucket = self._children.get(parent)
+            if bucket is None:
+                self._children[parent] = [fact]
+            else:
+                bucket.append(fact)
+
+    def children_of(self, fact) -> Tuple:
+        """Facts whose recorded derivation used ``fact`` in its body."""
+        return tuple(self._children.get(fact, ()))
+
+    def forget(self, facts: Iterable) -> None:
+        """Drop the adjacency rooted at deleted facts (their out-edges)."""
+        for fact in facts:
+            self._children.pop(fact, None)
+
+    def unlink(self, fact, parent_facts) -> None:
+        """Remove the recorded edge ``parent -> fact`` for each parent.
+
+        Called when ``fact`` is deleted so surviving parents do not keep a
+        stale edge to it — a later rederivation of an equal fact records a
+        fresh derivation, and stale edges would make future overdeletions
+        cascade through justifications that no longer exist.
+        """
+        for parent in parent_facts:
+            bucket = self._children.get(parent)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(fact)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._children[parent]
+
+    def __len__(self) -> int:
+        return sum(len(children) for children in self._children.values())
+
+
 def longest_common_prefix(provenances: Iterable[Provenance]) -> Provenance:
     """Longest common prefix of a collection of provenances (used in reports)."""
     iterator = iter(provenances)

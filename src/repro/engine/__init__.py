@@ -35,7 +35,9 @@ from .plan import (
     compile_rule_join_plan,
     seed_partition_positions,
 )
+from .incremental import ResidentError, ResidentReasoner
 from .reasoner import ReasoningResult, VadalogReasoner, reason
+from .service import ReasoningService, predicate_dependencies
 from .record_managers import (
     CsvRecordManager,
     DatabaseRecordManager,
@@ -82,6 +84,10 @@ __all__ = [
     "compile_rule_join_plan",
     "seed_partition_positions",
     "ReasoningResult",
+    "ResidentError",
+    "ResidentReasoner",
+    "ReasoningService",
+    "predicate_dependencies",
     "VadalogReasoner",
     "reason",
     "CsvRecordManager",

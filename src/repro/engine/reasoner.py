@@ -859,6 +859,25 @@ class VadalogReasoner:
             return facts
         return [f for f in database]  # already facts
 
+    def resident(self, database: DatabaseLike = None) -> "ResidentReasoner":
+        """Materialise ``database`` once and keep it warm under updates.
+
+        Returns a :class:`~repro.engine.incremental.ResidentReasoner` bound
+        to this reasoner's compiled state (optimized program, analysis,
+        join plans): ``upsert``/``retract`` maintain the materialisation
+        incrementally and ``query`` answers without re-running the chase.
+        Requires the ``compiled`` or ``naive`` executor and a *named*
+        termination strategy (retraction replays a fresh instance).
+        """
+        from .incremental import ResidentReasoner
+
+        if not isinstance(self._strategy_spec, (str, type(None))):
+            raise ValueError(
+                "resident maintenance needs a named termination strategy; "
+                "this reasoner was built with a strategy instance"
+            )
+        return ResidentReasoner(self, database=database)
+
     def explain(self) -> str:
         """Human-readable description of the compiled program and plan."""
         lines = [

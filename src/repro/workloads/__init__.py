@@ -24,6 +24,11 @@ from .chasebench import (
     lubm_scenario,
     lubm_point_query_scenario,
 )
+from .service import (
+    SERVICE_PROGRAM,
+    service_operations,
+    service_scenario,
+)
 from .scaling import (
     dbsize_scenario,
     rule_count_scenario,
@@ -53,6 +58,9 @@ __all__ = [
     "doctors_fd_scenario",
     "lubm_scenario",
     "lubm_point_query_scenario",
+    "SERVICE_PROGRAM",
+    "service_operations",
+    "service_scenario",
     "dbsize_scenario",
     "rule_count_scenario",
     "atom_count_scenario",

@@ -1,0 +1,135 @@
+"""Mixed update/query service workload for the resident reasoner.
+
+The tail of the paper's architecture (Section 5) is a long-lived reasoning
+service: clients issue point queries while the extensional data keeps
+changing underneath.  This module generates that workload — a recursive
+reachability program with an existential audit rule over a random sparse
+graph, plus a deterministic operation stream interleaving upserts,
+retractions and point queries at a configurable ``update:query`` ratio.
+
+The program is deliberately aggregate-free so retractions stay on the
+incremental delete-and-rederive path (aggregate programs fall back to a
+rebuild; the benchmark measures maintenance, not the fallback).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.parser import parse_program
+from ..storage.database import Database
+from .scenario import Scenario
+
+SERVICE_PROGRAM = """
+@output("Reach").
+@output("Audit").
+Reach(X, Y) :- Edge(X, Y).
+Reach(X, Z) :- Reach(X, Y), Edge(Y, Z).
+Audit(Y, Z) :- Source(X), Reach(X, Y).
+"""
+
+#: One operation of the mixed stream: ``("upsert", {pred: rows})``,
+#: ``("retract", {pred: rows})`` or ``("query", query_text)``.
+ServiceOp = Tuple[str, object]
+
+
+def _random_edges(
+    rng: random.Random, n_nodes: int, n_edges: int
+) -> List[Tuple[str, str]]:
+    edges: set = set()
+    while len(edges) < n_edges:
+        a = rng.randrange(n_nodes)
+        b = rng.randrange(n_nodes)
+        if a != b:
+            edges.add((f"n{a}", f"n{b}"))
+    return sorted(edges)
+
+
+def service_scenario(
+    n_nodes: int = 60,
+    n_edges: Optional[int] = None,
+    n_sources: int = 3,
+    seed: int = 9,
+) -> Scenario:
+    """The resident-service scenario: recursive reach + existential audit."""
+    rng = random.Random(seed)
+    if n_edges is None:
+        n_edges = 2 * n_nodes
+    database = Database()
+    edge = database.relation("Edge", 2)
+    for a, b in _random_edges(rng, n_nodes, n_edges):
+        edge.add((a, b))
+    source = database.relation("Source", 1)
+    for i in sorted(rng.sample(range(n_nodes), min(n_sources, n_nodes))):
+        source.add((f"n{i}",))
+    return Scenario(
+        name="service-mixed",
+        program=parse_program(SERVICE_PROGRAM),
+        database=database,
+        outputs=("Reach", "Audit"),
+        description="mixed update/query service loop over recursive reachability",
+        params={
+            "n_nodes": n_nodes,
+            "n_edges": n_edges,
+            "n_sources": n_sources,
+            "seed": seed,
+        },
+    )
+
+
+def service_operations(
+    scenario: Scenario,
+    n_ops: int = 200,
+    update_ratio: Tuple[int, int] = (1, 10),
+    retract_every: int = 3,
+    seed: int = 97,
+) -> Iterator[ServiceOp]:
+    """A deterministic mixed operation stream over ``scenario``'s graph.
+
+    ``update_ratio`` is ``(updates, queries)`` — e.g. ``(1, 10)`` yields one
+    update per ten queries, ``(10, 1)`` ten updates per query.  Updates are
+    append-mostly (the realistic shape of a streaming ingestion feed):
+    every ``retract_every``-th update retracts a currently-present edge
+    (tracked against the evolving edge set, so every retraction targets a
+    fact that is actually extensional at that point), the rest upsert fresh
+    edges.  Queries alternate between bound ``Reach`` point lookups and
+    full declared-output extraction.
+    """
+    rng = random.Random(seed)
+    n_nodes = int(scenario.params.get("n_nodes", 60))
+    edges = {tuple(row) for row in scenario.database.relation("Edge")}
+    updates, queries = update_ratio
+    if updates <= 0 or queries <= 0:
+        raise ValueError("update_ratio parts must be positive")
+    if retract_every <= 0:
+        raise ValueError("retract_every must be positive")
+    cycle = ["update"] * updates + ["query"] * queries
+    update_count = 0
+    toggle_query = True
+    for index in range(n_ops):
+        kind = cycle[index % len(cycle)]
+        if kind == "update":
+            update_count += 1
+            if update_count % retract_every != 0 or not edges:
+                while True:
+                    a = rng.randrange(n_nodes)
+                    b = rng.randrange(n_nodes)
+                    if a != b and (f"n{a}", f"n{b}") not in edges:
+                        break
+                row = (f"n{a}", f"n{b}")
+                edges.add(row)
+                yield ("upsert", {"Edge": [row]})
+            else:
+                row = rng.choice(sorted(edges))
+                edges.discard(row)
+                yield ("retract", {"Edge": [row]})
+        else:
+            if toggle_query:
+                yield ("query", f'Reach("n{rng.randrange(n_nodes)}", Y)')
+            else:
+                yield ("query", None)  # full declared-output extraction
+            toggle_query = not toggle_query
+
+
+__all__ = ["SERVICE_PROGRAM", "ServiceOp", "service_scenario", "service_operations"]

@@ -1,0 +1,277 @@
+"""The reasoning service: locking, answer-cache invalidation, async, mixed load."""
+
+import asyncio
+import threading
+
+import pytest
+
+from differential_harness import _profile_facts
+from repro.core.parser import parse_program
+from repro.engine.reasoner import VadalogReasoner
+from repro.engine.service import ReasoningService, predicate_dependencies
+from repro.workloads import service_operations, service_scenario
+
+REACH_PROGRAM = """
+@output("Reach").
+Reach(X, Y) :- Edge(X, Y).
+Reach(X, Z) :- Reach(X, Y), Edge(Y, Z).
+"""
+
+#: Two independent derivation components: writes to one must not
+#: invalidate cached answers of the other.
+TWO_COMPONENTS = """
+@output("A").
+@output("C").
+A(X) :- B(X).
+C(X) :- D(X).
+"""
+
+COUNT_PROGRAM = """
+@output("Degree").
+Degree(X, N) :- Edge(X, Y), N = mcount(Y).
+"""
+
+
+class TestPredicateDependencies:
+    def test_transitive_footprint(self):
+        program = parse_program(
+            """
+            Audit(Y, Z) :- Source(X), Reach(X, Y).
+            Reach(X, Y) :- Edge(X, Y).
+            Reach(X, Z) :- Reach(X, Y), Edge(Y, Z).
+            """
+        )
+        deps = predicate_dependencies(program)
+        assert deps["Reach"] == frozenset({"Reach", "Edge"})
+        assert deps["Audit"] == frozenset({"Audit", "Source", "Reach", "Edge"})
+
+    def test_underived_predicate_maps_to_itself(self):
+        service = ReasoningService(REACH_PROGRAM)
+        assert service.footprint("Edge") == frozenset({"Edge"})
+
+    def test_independent_components_do_not_share_footprints(self):
+        deps = predicate_dependencies(parse_program(TWO_COMPONENTS))
+        assert deps["A"] == frozenset({"A", "B"})
+        assert deps["C"] == frozenset({"C", "D"})
+
+
+class TestAnswerCache:
+    def test_repeated_query_hits_the_cache(self):
+        service = ReasoningService(
+            REACH_PROGRAM, database={"Edge": [("a", "b"), ("b", "c")]}
+        )
+        first = service.query('Reach("a", Y)')
+        second = service.query('Reach("a", Y)')
+        assert first is second
+        stats = service.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+
+    def test_write_invalidates_dependent_entries_only(self):
+        service = ReasoningService(
+            TWO_COMPONENTS, database={"B": [("b1",)], "D": [("d1",)]}
+        )
+        service.query("A(X)")
+        service.query("C(X)")
+        service.upsert({"D": [("d2",)]})
+        stats = service.stats()
+        assert stats["invalidations"] == 1  # C(X) only
+        # A(X) survives the write to D...
+        service.query("A(X)")
+        assert service.stats()["cache_hits"] == 1
+        # ...and the C(X) spec recomputes fresh answers.
+        assert service.query("C(X)").ground_tuples("C") == {("d1",), ("d2",)}
+
+    def test_invalidated_answers_are_recomputed_not_stale(self):
+        service = ReasoningService(
+            REACH_PROGRAM, database={"Edge": [("a", "b")]}
+        )
+        assert service.query('Reach("a", Y)').ground_tuples("Reach") == {
+            ("a", "b")
+        }
+        service.upsert({"Edge": [("b", "c")]})
+        assert service.query('Reach("a", Y)').ground_tuples("Reach") == {
+            ("a", "b"),
+            ("a", "c"),
+        }
+        service.retract({"Edge": [("b", "c")]})
+        assert service.query('Reach("a", Y)').ground_tuples("Reach") == {
+            ("a", "b")
+        }
+
+    def test_lru_eviction_respects_cache_size(self):
+        service = ReasoningService(
+            REACH_PROGRAM,
+            database={"Edge": [("a", "b"), ("b", "c"), ("c", "d")]},
+            cache_size=2,
+        )
+        for node in ("a", "b", "c"):
+            service.query(f'Reach("{node}", Y)')
+        assert service.stats()["cached_specs"] == 2
+
+    def test_cache_size_zero_disables_caching(self):
+        service = ReasoningService(
+            REACH_PROGRAM, database={"Edge": [("a", "b")]}, cache_size=0
+        )
+        service.query('Reach("a", Y)')
+        service.query('Reach("a", Y)')
+        stats = service.stats()
+        assert stats["cached_specs"] == 0
+        assert stats["cache_hits"] == 0
+
+    def test_full_extraction_and_outputs_key_separately(self):
+        service = ReasoningService(
+            REACH_PROGRAM, database={"Edge": [("a", "b")]}
+        )
+        service.query()
+        service.query(outputs=["Reach"])
+        service.query()
+        stats = service.stats()
+        assert stats["cache_misses"] == 2
+        assert stats["cache_hits"] == 1
+
+
+class TestDeferredMaintenance:
+    def test_query_settles_dirty_reasoner(self):
+        # Aggregate retraction defers to a rebuild; the service's query path
+        # must settle under the writer lock before reading a snapshot.
+        service = ReasoningService(
+            COUNT_PROGRAM, database={"Edge": [("a", "b"), ("a", "c")]}
+        )
+        assert service.query().ground_tuples("Degree") == {("a", 2)}
+        service.retract({"Edge": [("a", "c")]})
+        assert service.resident.needs_settle
+        assert service.query().ground_tuples("Degree") == {("a", 1)}
+        assert not service.resident.needs_settle
+
+
+class TestAsyncApi:
+    def test_async_round_trip(self):
+        async def scenario():
+            service = ReasoningService(
+                REACH_PROGRAM, database={"Edge": [("a", "b")]}
+            )
+            await service.upsert_async({"Edge": [("b", "c")]})
+            answers = await service.query_async('Reach("a", Y)')
+            await service.retract_async({"Edge": [("b", "c")]})
+            after = await service.query_async('Reach("a", Y)')
+            return answers, after
+
+        answers, after = asyncio.run(scenario())
+        assert answers.ground_tuples("Reach") == {("a", "b"), ("a", "c")}
+        assert after.ground_tuples("Reach") == {("a", "b")}
+
+    def test_concurrent_async_queries(self):
+        async def scenario():
+            service = ReasoningService(
+                REACH_PROGRAM,
+                database={"Edge": [("a", "b"), ("b", "c"), ("c", "d")]},
+            )
+            return await asyncio.gather(
+                *(service.query_async(f'Reach("{n}", Y)') for n in "abc")
+            )
+
+        answers = asyncio.run(scenario())
+        assert answers[0].ground_tuples("Reach") == {
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+        }
+        assert answers[2].ground_tuples("Reach") == {("c", "d")}
+
+
+class TestConcurrency:
+    def test_readers_and_writer_converge(self):
+        service = ReasoningService(
+            REACH_PROGRAM, database={"Edge": [("n0", "n1")]}
+        )
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    service.query('Reach("n0", Y)')
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for i in range(1, 30):
+                service.upsert({"Edge": [(f"n{i}", f"n{i + 1}")]})
+                if i % 5 == 0:
+                    service.retract({"Edge": [(f"n{i}", f"n{i + 1}")]})
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not errors
+        # The surviving chain is n0..n25 plus the tail edges not retracted.
+        expected = VadalogReasoner(REACH_PROGRAM).reason(
+            database={
+                "Edge": [
+                    (f"n{i}", f"n{i + 1}")
+                    for i in range(30)
+                    if not (i > 0 and i % 5 == 0)
+                ]
+            },
+            outputs=["Reach"],
+        )
+        assert service.query().ground_tuples("Reach") == expected.answers.ground_tuples(
+            "Reach"
+        )
+
+
+class TestMixedWorkload:
+    def test_service_loop_matches_from_scratch(self):
+        """Replay a small mixed stream; final answers must match reason()."""
+        scenario = service_scenario(n_nodes=15)
+        operations = list(
+            service_operations(scenario, n_ops=80, update_ratio=(1, 3))
+        )
+        service = ReasoningService(
+            scenario.program.copy(), database=scenario.database
+        )
+        edges = {tuple(row) for row in scenario.database.relation("Edge")}
+        sources = [tuple(row) for row in scenario.database.relation("Source")]
+        for kind, payload in operations:
+            if kind == "upsert":
+                edges.update(tuple(row) for row in payload.get("Edge", ()))
+                service.upsert(payload)
+            elif kind == "retract":
+                edges.difference_update(
+                    tuple(row) for row in payload.get("Edge", ())
+                )
+                service.retract(payload)
+            else:
+                service.query(payload)
+        reference = VadalogReasoner(service_scenario(n_nodes=15).program.copy()).reason(
+            database={"Edge": sorted(edges), "Source": sources},
+            outputs=scenario.outputs,
+        )
+        final = service.query()
+        assert final.ground_tuples("Reach") == reference.answers.ground_tuples(
+            "Reach"
+        )
+        _, _, service_patterns = _profile_facts(final.facts("Audit"))
+        _, _, reference_patterns = _profile_facts(
+            reference.answers.facts("Audit")
+        )
+        assert service_patterns == reference_patterns
+        stats = service.stats()
+        assert stats["upserts"] + stats["retractions"] > 0
+        assert stats["queries"] > 0
+
+    def test_resident_accessor_shares_state(self):
+        service = ReasoningService(
+            REACH_PROGRAM, database={"Edge": [("a", "b")]}
+        )
+        service.upsert({"Edge": [("b", "c")]})
+        assert service.resident.stats()["upserts"] == 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -22,6 +22,18 @@ Usage::
     python tools/check_bench.py --executor compiled --update-baseline
     python tools/check_bench.py --executor compiled --inject-slowdown 2.0  # self-test
     python tools/check_bench.py --trace-overhead --executor compiled streaming
+    python tools/check_bench.py --service-throughput
+    python tools/check_bench.py --service-throughput --update-baseline
+
+``--service-throughput`` switches the gate to the resident-reasoner service
+check: the smoke-scale mixed update/query workload is replayed ``--runs``
+times through the resident ``ReasoningService`` and the from-scratch
+baseline service, and the gate fails when (a) the median sustained
+queries/sec falls below ``baseline / calibration-scale / threshold`` and
+the implied per-query latency regressed by more than ``--min-abs-slack``
+seconds, or (b) the median resident speedup over from-scratch drops below
+the 2x target, or (c) the two services disagree on the final ``Reach``
+relation (a correctness failure, never excused by noise slack).
 
 ``--trace-overhead`` switches the gate to the telemetry-overhead check of
 the observability layer: every smoke scenario is run untraced and with
@@ -161,6 +173,158 @@ def gate_trace_overhead(args, executors) -> int:
     return 0
 
 
+def measure_service(runs: int) -> dict:
+    """Median-of-``runs`` resident service throughput on the smoke workload.
+
+    Each run replays the identical smoke-scale mixed stream (default ratio,
+    one update per ten queries) through both the resident service and the
+    from-scratch baseline, so the speedup sample is paired — machine-speed
+    drift during the gate cancels out of the ratio.
+    """
+    ratio = run_all.SERVICE_DEFAULT_RATIOS[0]
+    qps, speedups, p50s = [], [], []
+    for _ in range(runs):
+        section = run_all.run_service_throughput(smoke=True)
+        row = section["ratios"][ratio]
+        if not row["answers_identical"]:
+            raise SystemExit(
+                "service gate FAILED: resident and from-scratch services "
+                "disagree on the final Reach relation (correctness, not noise)"
+            )
+        qps.append(row["resident"]["queries_per_second"])
+        speedups.append(row["speedup_vs_scratch"])
+        p50s.append(row["resident"]["p50_query_seconds"])
+    return {
+        "ratio": ratio,
+        "queries": row["resident"]["queries"],
+        "queries_per_second": round(statistics.median(qps), 1),
+        "speedup_vs_scratch": round(statistics.median(speedups), 2),
+        "p50_query_seconds": round(statistics.median(p50s), 6),
+        "samples_qps": sorted(qps),
+    }
+
+
+def gate_service_throughput(args) -> int:
+    """The resident-service throughput gate (see module docstring)."""
+    print(f"calibrating ({args.runs} runs)...", flush=True)
+    calibration = calibrate(args.runs)
+    print(f"calibration: {calibration:.4f}s", flush=True)
+    print(
+        f"measuring service throughput (median of {args.runs} replays)...",
+        flush=True,
+    )
+    measured = measure_service(args.runs)
+    print(
+        f"   resident median {measured['queries_per_second']} q/s "
+        f"of {measured['samples_qps']}, "
+        f"speedup {measured['speedup_vs_scratch']}x",
+        flush=True,
+    )
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        merged = {"scenarios": {}}
+        if baseline_path.exists():
+            merged = json.loads(baseline_path.read_text())
+        merged["service_throughput"] = {
+            "ratio": measured["ratio"],
+            "queries_per_second": measured["queries_per_second"],
+            "speedup_vs_scratch": measured["speedup_vs_scratch"],
+            "p50_query_seconds": measured["p50_query_seconds"],
+            # The service entry carries its own calibration so partial
+            # updates never skew the scenario entries (and vice versa).
+            "calibration_seconds": round(calibration, 4),
+            "python": platform.python_version(),
+            "runs": args.runs,
+        }
+        baseline_path.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path} [service_throughput]")
+        return 0
+
+    if not baseline_path.exists():
+        print(
+            f"baseline {baseline_path} does not exist; run with "
+            f"--service-throughput --update-baseline to create it",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline.get("service_throughput")
+    if not entry:
+        print(
+            "baseline has no service_throughput entry; run with "
+            "--service-throughput --update-baseline to add it",
+            file=sys.stderr,
+        )
+        return 2
+    scale = calibration / entry["calibration_seconds"]
+    print(
+        f"machine speed vs baseline machine: {1 / scale:.2f}x "
+        f"(calibration {calibration:.4f}s vs {entry['calibration_seconds']:.4f}s)"
+    )
+
+    median_qps = measured["queries_per_second"]
+    if args.inject_slowdown:
+        print(
+            f"!! self-test: injecting a {args.inject_slowdown}x slowdown "
+            f"into the measured throughput"
+        )
+        median_qps /= args.inject_slowdown
+
+    failures = []
+    # (a) absolute throughput vs the calibration-scaled committed baseline.
+    # Throughput scales inversely with machine slowness, so the expectation
+    # divides by ``scale``.  The noise floor mirrors the scenario gate's:
+    # --min-abs-slack bounds the *elapsed* gap over the whole query stream
+    # (queries / qps), so sub-50ms total differences never fail.
+    expected_qps = entry["queries_per_second"] / scale
+    allowed_qps = expected_qps / args.threshold
+    queries = measured["queries"]
+    elapsed_gap = (
+        queries / median_qps - queries / expected_qps
+        if median_qps
+        else float("inf")
+    )
+    status = "ok"
+    if median_qps < allowed_qps and elapsed_gap > args.min_abs_slack:
+        status = "REGRESSION"
+        failures.append(
+            f"throughput {median_qps:.1f} q/s < allowed {allowed_qps:.1f} q/s "
+            f"(expected {expected_qps:.1f} q/s, elapsed gap "
+            f"{elapsed_gap * 1000:.1f}ms over {queries} queries)"
+        )
+    print(
+        f"   throughput: {median_qps:.1f} q/s vs expected {expected_qps:.1f} q/s "
+        f"(allowed {allowed_qps:.1f} q/s) {status}"
+    )
+
+    # (b) the resident service must stay >= the 2x speedup target.  The
+    # ratio is machine-independent (both sides run on this machine), so no
+    # calibration scaling applies.
+    speedup = measured["speedup_vs_scratch"]
+    if args.inject_slowdown:
+        speedup /= args.inject_slowdown
+    target = run_all.SERVICE_SPEEDUP_TARGET
+    status = "ok" if speedup >= target else "BELOW TARGET"
+    if speedup < target:
+        failures.append(
+            f"speedup {speedup:.2f}x < {target}x target over the "
+            f"from-scratch service"
+        )
+    print(f"   speedup vs from-scratch: {speedup:.2f}x (target {target}x) {status}")
+
+    if failures:
+        print(
+            f"\nservice gate FAILED: {len(failures)} violation(s):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nservice gate OK: throughput and speedup within budget")
+    return 0
+
+
 def measure(executors, runs: int, only=None) -> dict:
     """Median-of-``runs`` smoke elapsed per (scenario, executor)."""
     scenarios = {}
@@ -234,12 +398,23 @@ def main(argv=None) -> int:
         default=1.10,
         help="traced/untraced ratio allowed by --trace-overhead (default 1.10)",
     )
+    parser.add_argument(
+        "--service-throughput",
+        action="store_true",
+        help=(
+            "gate the resident-reasoner service instead of the executor "
+            "scenarios: median sustained queries/sec on the smoke mixed "
+            "workload vs the committed baseline, plus the 2x speedup target"
+        ),
+    )
     parser.add_argument("--only", nargs="*", default=None)
     args = parser.parse_args(argv)
 
     executors = list(dict.fromkeys(args.executor))
     if args.trace_overhead:
         return gate_trace_overhead(args, executors)
+    if args.service_throughput:
+        return gate_service_throughput(args)
     print(f"calibrating ({args.runs} runs)...", flush=True)
     calibration = calibrate(args.runs)
     print(f"calibration: {calibration:.4f}s", flush=True)

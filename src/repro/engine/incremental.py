@@ -309,20 +309,26 @@ class ResidentReasoner:
         Only extensional facts can be retracted: retracting a *derived* fact
         raises ``ValueError`` (it would be re-derived immediately), facts
         the store never saw are ignored, and facts inlined in the program
-        text are permanent.  Returns the number of facts removed from the
-        extensional set.  On programs with aggregate rules the store cannot
-        be maintained soundly under deletion (monotone accumulators cannot
-        subtract), so the reasoner goes dirty and the next query rebuilds.
+        text are permanent.  The whole batch is validated before anything
+        is applied — a rejected batch leaves the extensional set and the
+        materialisation untouched.  Returns the number of facts removed
+        from the extensional set.  On programs with aggregate rules the
+        store cannot be maintained soundly under deletion (monotone
+        accumulators cannot subtract), so the reasoner goes dirty and the
+        next query rebuilds.
         """
         started = time.perf_counter()
         retracted: List[Fact] = []
+        seen: Set[Fact] = set()
         for fact in VadalogReasoner._database_facts(facts):
             if fact in self._program_facts:
                 raise ValueError(
                     f"{fact!r} is declared in the program text and cannot be retracted"
                 )
+            if fact in seen:
+                continue
+            seen.add(fact)
             if fact in self._edb:
-                self._edb.discard(fact)
                 retracted.append(fact)
                 continue
             if not self._dirty and fact in self._store:
@@ -330,9 +336,12 @@ class ResidentReasoner:
                     f"{fact!r} is derived, not extensional; only extensional "
                     "facts can be retracted"
                 )
+        # Batch validated: from here on the operation cannot fail, so the
+        # extensional set and the materialisation move together.
         self.maintenance_epoch += 1
         self._stats["retractions"] += 1
         self._extract_cache.clear()
+        self._edb.difference_update(retracted)
         self._stats["facts_retracted"] += len(retracted)
         if not retracted or self._dirty:
             self._stats["maintenance_seconds"] += time.perf_counter() - started

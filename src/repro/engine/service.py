@@ -29,7 +29,7 @@ import asyncio
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from ..core.atoms import Atom
 from ..core.parser import parse_atom
@@ -71,8 +71,16 @@ class _ReadWriteLock:
     def write(self):
         with self._cond:
             self._writers_waiting += 1
-            while self._writer or self._readers:
-                self._cond.wait()
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            except BaseException:
+                # A raising wait() (e.g. KeyboardInterrupt) must not leave
+                # the waiting count elevated — readers block while it is
+                # non-zero — and blocked peers need a wake-up to re-check.
+                self._writers_waiting -= 1
+                self._cond.notify_all()
+                raise
             self._writers_waiting -= 1
             self._writer = True
         try:
@@ -95,24 +103,68 @@ def predicate_dependencies(program: Program) -> Dict[str, FrozenSet[str]]:
         body_predicates = {atom.predicate for atom in rule.body}
         for head in rule.head:
             direct.setdefault(head.predicate, set()).update(body_predicates)
+    # Closures are computed per strongly-connected component (iterative
+    # Tarjan): every member of an SCC shares one closure — the component
+    # itself plus the closures of its successor components.  Tarjan
+    # completes components in reverse-topological order, so by the time a
+    # component closes, every cross-edge successor already has its full
+    # closure; same-component successors fall back to ``{succ}``, already
+    # covered by the component set.  (A per-predicate memo cannot do this:
+    # inside a cycle it caches whichever partial set the traversal order
+    # happened to produce.)
     closure: Dict[str, FrozenSet[str]] = {}
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = 0
 
-    def resolve(predicate: str, trail: Set[str]) -> Set[str]:
-        done = closure.get(predicate)
-        if done is not None:
-            return set(done)
-        deps = {predicate}
-        if predicate in trail:
-            return deps  # recursive predicate: cycle already accounted for
-        trail.add(predicate)
-        for body_predicate in direct.get(predicate, ()):
-            deps.update(resolve(body_predicate, trail))
-        trail.discard(predicate)
-        closure[predicate] = frozenset(deps)
-        return deps
+    def visit(root: str) -> None:
+        nonlocal counter
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [(root, iter(direct.get(root, ())))]
+        while work:
+            node, successors = work[-1]
+            descended = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(direct.get(succ, ()))))
+                    descended = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                deps: Set[str] = set(component)
+                for member in component:
+                    for succ in direct.get(member, ()):
+                        deps.update(closure.get(succ, (succ,)))
+                shared = frozenset(deps)
+                for member in component:
+                    closure[member] = shared
 
     for predicate in direct:
-        resolve(predicate, set())
+        if predicate not in index:
+            visit(predicate)
     return closure
 
 
@@ -247,6 +299,7 @@ class ReasoningService:
             with self._lock.read():
                 if self._resident.needs_settle:
                     continue  # a writer slipped in between the two locks
+                epoch = self._resident.epoch
                 answers = self._resident.query(
                     entry.query_atom,
                     outputs=entry.predicates,
@@ -254,8 +307,7 @@ class ReasoningService:
                     snapshot=self._resident.snapshot(),
                 )
                 break
-        entry.answers = answers
-        self._store_entry(key, entry)
+        self._store_entry(key, entry, answers, epoch)
         return answers
 
     def _cache_key(self, query, outputs, certain) -> Tuple:
@@ -286,10 +338,26 @@ class ReasoningService:
             footprint.update(self._deps.get(predicate, frozenset((predicate,))))
         return _CacheEntry(query_atom, predicates, frozenset(footprint))
 
-    def _store_entry(self, key: Tuple, entry: _CacheEntry) -> None:
-        if self._cache_size == 0:
-            return
+    def _store_entry(
+        self,
+        key: Tuple,
+        entry: _CacheEntry,
+        answers: AnswerSet,
+        epoch: Tuple[int, int],
+    ) -> None:
+        """Cache ``answers`` unless a writer ran since they were computed.
+
+        ``epoch`` was captured under the read lock; a writer bumps the
+        resident epoch *before* invalidating the cache, so checking it
+        under the cache lock closes the window where pre-write answers
+        could be inserted after the writer's invalidation pass.
+        """
         with self._cache_lock:
+            if self._resident.epoch != epoch:
+                return  # answers predate a write: serve them, never cache them
+            entry.answers = answers
+            if self._cache_size == 0:
+                return
             self._cache[key] = entry
             self._cache.move_to_end(key)
             while len(self._cache) > self._cache_size:

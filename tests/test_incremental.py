@@ -272,6 +272,36 @@ class TestDRedEdgeCases:
         with pytest.raises(ValueError, match="program text"):
             resident.retract({"Edge": [("p", "q")]})
 
+    def test_rejected_retract_batch_leaves_state_untouched(self):
+        # The batch is validated before anything is applied: a derived fact
+        # late in the batch must not leave earlier facts half-retracted
+        # (discarded from the extensional set but still materialised).
+        resident = ResidentReasoner(
+            REACH_PROGRAM, database={"Edge": [("a", "b"), ("b", "c")]}
+        )
+        epoch_before = resident.epoch
+        with pytest.raises(ValueError, match="derived, not extensional"):
+            resident.retract({"Edge": [("a", "b")], "Reach": [("a", "c")]})
+        assert resident.epoch == epoch_before
+        assert resident.query().ground_tuples("Reach") == {
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "c"),
+        }
+        # The untouched extensional set still accepts the valid retraction.
+        assert resident.retract({"Edge": [("a", "b")]}) == 1
+        assert resident.query().ground_tuples("Reach") == {("b", "c")}
+
+    def test_duplicate_facts_in_a_retract_batch_count_once(self):
+        resident = ResidentReasoner(
+            REACH_PROGRAM, database={"Edge": [("a", "b"), ("b", "c")]}
+        )
+        removed = resident.retract(
+            {"Edge": [("b", "c"), ("b", "c")]}
+        )
+        assert removed == 1
+        assert resident.query().ground_tuples("Reach") == {("a", "b")}
+
     def test_retracting_absent_fact_is_ignored(self):
         resident = ResidentReasoner(
             REACH_PROGRAM, database={"Edge": [("a", "b")]}

@@ -8,7 +8,11 @@ import pytest
 from differential_harness import _profile_facts
 from repro.core.parser import parse_program
 from repro.engine.reasoner import VadalogReasoner
-from repro.engine.service import ReasoningService, predicate_dependencies
+from repro.engine.service import (
+    ReasoningService,
+    _ReadWriteLock,
+    predicate_dependencies,
+)
 from repro.workloads import service_operations, service_scenario
 
 REACH_PROGRAM = """
@@ -53,6 +57,76 @@ class TestPredicateDependencies:
         deps = predicate_dependencies(parse_program(TWO_COMPONENTS))
         assert deps["A"] == frozenset({"A", "B"})
         assert deps["C"] == frozenset({"C", "D"})
+
+    def test_cycle_members_share_the_complete_closure(self):
+        # B is resolved first and recurses into A, which hits the B cycle
+        # before ever seeing C — a per-predicate memo caches closure[A]
+        # without C, and writes to C then never invalidate queries on A.
+        program = parse_program(
+            """
+            B(X) :- A(X).
+            B(X) :- C(X).
+            A(X) :- B(X).
+            """
+        )
+        deps = predicate_dependencies(program)
+        assert deps["A"] == frozenset({"A", "B", "C"})
+        assert deps["B"] == frozenset({"A", "B", "C"})
+        assert deps["C"] == frozenset({"C"})
+
+    def test_write_inside_cycle_invalidates_cycle_queries(self):
+        # The service-level consequence of the closure above: a write to a
+        # predicate feeding the cycle must drop cached answers of *every*
+        # cycle member, whichever resolution order built the footprints.
+        service = ReasoningService(
+            """
+            @output("A").
+            @output("B").
+            B(X) :- A(X).
+            B(X) :- C(X).
+            A(X) :- B(X).
+            """,
+            database={"C": [("c1",)]},
+        )
+        assert service.query("A(X)").ground_tuples("A") == {("c1",)}
+        service.upsert({"C": [("c2",)]})
+        assert service.query("A(X)").ground_tuples("A") == {("c1",), ("c2",)}
+
+
+class TestReadWriteLock:
+    def test_writer_counter_recovers_when_wait_raises(self):
+        # A raising Condition.wait (e.g. KeyboardInterrupt) must not leave
+        # _writers_waiting elevated: readers block while it is non-zero, so
+        # a leaked increment deadlocks every subsequent read().
+        lock = _ReadWriteLock()
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+
+        def reader():
+            with lock.read():
+                reader_in.set()
+                release_reader.wait(5)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert reader_in.wait(5)
+
+        def raising_wait(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        original_wait = lock._cond.wait
+        lock._cond.wait = raising_wait
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                with lock.write():
+                    pass  # pragma: no cover - never entered
+        finally:
+            lock._cond.wait = original_wait
+        release_reader.set()
+        thread.join(5)
+        assert lock._writers_waiting == 0
+        with lock.read():  # must not deadlock
+            pass
 
 
 class TestAnswerCache:
@@ -118,6 +192,26 @@ class TestAnswerCache:
         stats = service.stats()
         assert stats["cached_specs"] == 0
         assert stats["cache_hits"] == 0
+
+    def test_pre_write_answers_are_never_cached(self):
+        # The race the epoch check closes: a reader computes answers, a
+        # writer invalidates the cache, and only then does the reader reach
+        # _store_entry — inserting pre-write answers that would be served
+        # as hits until a later write touched the same footprint.
+        service = ReasoningService(REACH_PROGRAM, database={"Edge": [("a", "b")]})
+        key = service._cache_key('Reach("a", Y)', None, False)
+        entry = service._build_entry('Reach("a", Y)', None)
+        epoch = service.resident.epoch
+        answers = service.resident.query(
+            entry.query_atom, outputs=entry.predicates
+        )
+        service.upsert({"Edge": [("b", "c")]})  # writer wins the window
+        service._store_entry(key, entry, answers, epoch)
+        assert entry.answers is None
+        assert service.query('Reach("a", Y)').ground_tuples("Reach") == {
+            ("a", "b"),
+            ("a", "c"),
+        }
 
     def test_full_extraction_and_outputs_key_separately(self):
         service = ReasoningService(

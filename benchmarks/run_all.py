@@ -6,9 +6,16 @@ benchmark family of the paper's evaluation (Section 6) at laptop scale on
 the selected chase executors — ``naive`` (interpreted), ``compiled`` (the
 slot-machine default), ``streaming`` (the pull-based pipeline of PR 2) and
 ``parallel`` (the sharded worker-pool chase of PR 4) — in the same
-process, and writes ``BENCH_PR5.json`` with per-scenario wall-clock,
+process, and writes ``BENCH_PR10.json`` with per-scenario wall-clock,
 facts/second and compiled-over-naive speedups, each row tagged with its
 executor name.
+
+Since PR 10 the report carries the **scaling-curve sweeps**: the
+parametric iWarded generator is swept along every knob axis (recursion
+depth, existential density, arity, join fan-in, fact-set size with skew)
+and each grid point is measured on the sweep executors and answer-checked
+against the naive executor — the curves the
+``tools/check_bench.py --scaling-curves`` gate gates at smoke scale.
 
 Since PR 5 the report carries the **magic-rewrite section**: the
 point-query workloads (companies single-ancestor control, DBpedia
@@ -68,6 +75,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.engine.reasoner import EXECUTORS, VadalogReasoner  # noqa: E402
 from repro.engine.service import ReasoningService  # noqa: E402
 from repro.obs.report import top_rules  # noqa: E402
+from repro.workloads import sweep as scaling_sweep  # noqa: E402
 from repro.workloads import (  # noqa: E402
     arity_scenario,
     atom_count_scenario,
@@ -365,6 +373,32 @@ def run_service_throughput(smoke: bool, ratios=SERVICE_DEFAULT_RATIOS) -> dict:
         )
     section["ratios_meeting_target"] = meets
     section["meets_2x_target"] = bool(meets)
+    return section
+
+
+def run_scaling_sweeps(smoke: bool) -> dict:
+    """The scaling-curve section: grid sweeps along every generator knob.
+
+    Delegates to :func:`repro.workloads.sweep.run_sweep`: each knob axis of
+    the parametric iWarded generator (recursion depth, existential density,
+    arity, join fan-in, fact-set size) is swept over >= 4 grid values on the
+    sweep executors, producing per-point wall-clock, derived-fact and
+    peak-resident-fact curves.  Every point is answer-checked against the
+    naive executor — the run aborts on a mismatch instead of reporting
+    curves it cannot vouch for.
+    """
+    print("== scaling-curve sweeps (parametric iWarded grid)", flush=True)
+    section = scaling_sweep.run_sweep(smoke=smoke, answer_check=True)
+    for axis, curve in section["axes"].items():
+        by_executor = {}
+        for point in curve["points"]:
+            by_executor.setdefault(point["executor"], []).append(point)
+        for executor, points in by_executor.items():
+            trail = " ".join(
+                f"{p['value']}:{p['elapsed_seconds']:.3f}s/{p['derived_facts']}f"
+                for p in points
+            )
+            print(f"   {axis} [{executor}]: {trail}", flush=True)
     return section
 
 
@@ -755,7 +789,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o",
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR9.json"),
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR10.json"),
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -872,6 +906,9 @@ def main(argv=None) -> int:
     # Service throughput: resident vs from-scratch mixed update/query loop.
     service_section = run_service_throughput(args.smoke, args.service_ratios)
 
+    # Scaling curves: grid sweeps along the parametric generator knobs.
+    scaling_section = run_scaling_sweeps(args.smoke)
+
     # Datasource backends: memory vs SQLite equivalence + pushdown evidence.
     backend_section = run_backend_comparison(args.smoke)
     backends_match = all(
@@ -899,13 +936,15 @@ def main(argv=None) -> int:
     )
 
     report = {
-        "pr": 9,
+        "pr": 10,
         "description": (
-            "resident incremental reasoner (semi-naive upserts, DRed "
-            "retractions, mixed update/query service throughput) on top of "
-            "the PR-7 comparison matrix: telemetry overhead, magic-set "
-            "rewriting, sequential/streaming/parallel executors, worker "
-            "sweep, datasource backends"
+            "scenario lab: scaling-curve sweeps along the parametric "
+            "iWarded generator knobs (recursion depth, existential density, "
+            "arity, join fan-in, fact-set size), answer-checked per grid "
+            "point, on top of the PR-9 matrix: incremental service "
+            "throughput, telemetry overhead, magic-set rewriting, "
+            "sequential/streaming/parallel executors, worker sweep, "
+            "datasource backends"
         ),
         "mode": "smoke" if args.smoke else "full",
         "python": platform.python_version(),
@@ -919,6 +958,7 @@ def main(argv=None) -> int:
         "streaming_vs_materialization": streaming_wins,
         "streaming_fewer_resident_on_two_recursion_heavy": len(streaming_wins) >= 2,
         "parallel_worker_sweep": sweep_section,
+        "scaling_sweeps": scaling_section,
         "magic_rewrite": magic_section,
         "telemetry": telemetry_section,
         "service_throughput": service_section,
@@ -948,6 +988,18 @@ def main(argv=None) -> int:
             f"[{sweep_section['cpu_count']} cpu(s), "
             f"backends: {', '.join(sweep_section['backends'])}]"
         )
+    checked_points = sum(
+        1
+        for curve in scaling_section["axes"].values()
+        for point in curve["points"]
+        if point["answer_checked"]
+    )
+    print(
+        f"scaling sweeps: {len(scaling_section['axes'])} knob axes on "
+        f"{', '.join(scaling_section['executors'])}; "
+        f"{checked_points} curve points answer-checked against "
+        f"{scaling_section['answer_reference']}"
+    )
     print(
         f"sqlite backend answers match memory: {backends_match}; "
         f"pushdown scans fewer rows: {pushdown_demonstrated}"

@@ -1,7 +1,22 @@
 """Workload and scenario generators for the experimental evaluation (Section 6)."""
 
 from .scenario import Scenario
-from .iwarded import IWardedConfig, SCENARIO_CONFIGS, generate_iwarded, iwarded_scenario
+from .iwarded import (
+    GenerationError,
+    IWardedConfig,
+    SCENARIO_CONFIGS,
+    generate_iwarded,
+    iwarded_scenario,
+    parametric_config,
+    parametric_scenario,
+)
+from .datascience import (
+    er_fusion_scenario,
+    generate_er_database,
+    generate_lp_database,
+    label_propagation_scenario,
+)
+from .sweep import SWEEP_AXES, SweepAxis, grid_scenario, run_axis, run_sweep
 from .dbpedia import (
     generate_company_graph,
     psc_scenario,
@@ -38,10 +53,22 @@ from .scaling import (
 
 __all__ = [
     "Scenario",
+    "GenerationError",
     "IWardedConfig",
     "SCENARIO_CONFIGS",
     "generate_iwarded",
     "iwarded_scenario",
+    "parametric_config",
+    "parametric_scenario",
+    "er_fusion_scenario",
+    "generate_er_database",
+    "generate_lp_database",
+    "label_propagation_scenario",
+    "SWEEP_AXES",
+    "SweepAxis",
+    "grid_scenario",
+    "run_axis",
+    "run_sweep",
     "generate_company_graph",
     "psc_scenario",
     "psc_point_query_scenario",

@@ -1,0 +1,331 @@
+"""Reasoning-meets-ML workloads ("Data Science with Vadalog", arXiv:1807.08712).
+
+The paper positions Vadalog as the reasoning core of data-science pipelines:
+upstream ML models emit *predictions* that become extensional facts, and the
+reasoner post-processes them with recursive rules, monotonic aggregations,
+equality-generating dependencies and datasource writeback.  No previous
+scenario in this repo exercised aggregates + EGDs + ``@output`` writeback
+together; the two scenarios here do, in the two canonical shapes:
+
+* **Entity-resolution score fusion** (:func:`er_fusion_scenario`) — several
+  matcher models score record pairs; reasoning fuses the scores per pair
+  (``mmax``), thresholds them into a symmetric-transitive ``SameEntity``
+  closure, invents an existential ``Entity`` witness per cluster, counts
+  cluster sizes (``mcount``) and checks a *single-source* EGD over the
+  record registry.
+* **Classification-label propagation** (:func:`label_propagation_scenario`)
+  — a classifier labels some graph nodes with confidences; high-confidence
+  predictions become seeds whose influence propagates along undirected
+  edges; per-node support is aggregated with ``mcount`` (with and
+  without contributor lists) and a *seed-uniqueness* EGD flags nodes the
+  classifier labelled ambiguously.
+
+Both scenarios run on three interchangeable backends: ``memory`` (facts in a
+:class:`~repro.storage.database.Database`), ``csv`` and ``sqlite`` (facts
+ingested through ``@bind`` datasources, answers written back through the
+``@output`` bindings).  Answers are identical across backends on every
+executor — the property :mod:`tests.test_scenario_lab` pins down.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.parser import parse_program
+from ..core.rules import Program
+from ..storage.csv_io import save_relation_csv
+from ..storage.database import Database
+from ..storage.datasources import save_database_sqlite
+from .scenario import Scenario
+
+#: Fusion threshold above which a record pair is considered the same entity.
+MATCH_THRESHOLD = 0.7
+#: Classifier confidence above which a prediction becomes a propagation seed.
+SEED_CONFIDENCE = 0.8
+
+# ---------------------------------------------------------------------------
+# Entity-resolution score fusion
+# ---------------------------------------------------------------------------
+
+#: ``Score(model, a, b, w)`` are matcher outputs, ``Record(r, source)`` the
+#: record registry.  ``FusedScore`` keeps the best score any model produced
+#: for a pair, ``SameEntity`` is its thresholded symmetric-transitive
+#: closure, ``Entity`` invents one (labelled-null) entity witness per record
+#: and spreads it over the cluster, ``ClusterSize`` counts each record's
+#: cluster.  The EGD requires the registry to list each record under one
+#: source — the generator plants one conflicting registration, so the
+#: violation set is non-empty and deterministic.
+ER_FUSION_PROGRAM = """
+@output("FusedScore").
+@output("SameEntity").
+@output("ClusterSize").
+FusedScore(A, B, S) :- Score(M, A, B, W), S = mmax(W).
+SameEntity(A, B) :- FusedScore(A, B, S), S > 0.7.
+SameEntity(B, A) :- SameEntity(A, B).
+SameEntity(A, C) :- SameEntity(A, B), SameEntity(B, C).
+ClusterSize(A, N) :- SameEntity(A, B), N = mcount(B).
+Entity(A, E) :- Record(A, Src).
+Entity(B, E) :- Entity(A, E), SameEntity(A, B).
+Src1 = Src2 :- Record(A, Src1), Record(A, Src2).
+"""
+
+ER_OUTPUTS: Tuple[str, ...] = ("FusedScore", "SameEntity", "ClusterSize")
+
+#: Registry sources the synthetic records are attributed to (round-robin).
+_RECORD_SOURCES: Tuple[str, ...] = ("crm", "web", "erp")
+
+
+def generate_er_database(
+    n_records: int = 12, n_models: int = 3, seed: int = 11
+) -> Database:
+    """Synthetic matcher outputs: ``n_models`` models score candidate pairs.
+
+    Pairs along the record chain plus random extras get a shared "true"
+    affinity; each model reports it with bounded noise (two decimals, so the
+    values survive CSV/SQLite round-trips bit-identically).  Record ``r0``
+    is deliberately registered under two sources — the single-source EGD
+    must flag it.
+    """
+    if n_records < 2:
+        raise ValueError(f"n_records must be >= 2, got {n_records}")
+    if n_models < 1:
+        raise ValueError(f"n_models must be >= 1, got {n_models}")
+    rng = random.Random(seed)
+    records = [f"r{i}" for i in range(n_records)]
+    record_rows = [
+        (record, _RECORD_SOURCES[i % len(_RECORD_SOURCES)])
+        for i, record in enumerate(records)
+    ]
+    record_rows.append((records[0], "legacy"))  # conflicting registration
+    pairs = {(records[i], records[i + 1]) for i in range(n_records - 1)}
+    while len(pairs) < 2 * n_records:
+        a, b = rng.sample(records, 2)
+        pairs.add((a, b))
+    score_rows: List[Tuple[str, str, str, float]] = []
+    for a, b in sorted(pairs):
+        affinity = rng.random()
+        for model in range(n_models):
+            noise = (rng.random() - 0.5) * 0.2
+            score = round(min(1.0, max(0.0, affinity + noise)), 2)
+            score_rows.append((f"m{model}", a, b, score))
+    database = Database()
+    database.add_tuples("Record", sorted(set(record_rows)))
+    database.add_tuples("Score", score_rows)
+    return database
+
+
+# ---------------------------------------------------------------------------
+# Classification-label propagation
+# ---------------------------------------------------------------------------
+
+#: ``Predicted(node, label, confidence)`` are classifier outputs over the
+#: nodes of an undirected graph ``Link(a, b)``.  High-confidence predictions
+#: seed the propagation; ``Influence(seed, node, label)`` tracks which seeds
+#: reach which nodes; ``Support`` counts supporting seeds per node and
+#: label, ``LabelCount`` counts *distinct* labels reaching a node (the
+#: contributor list ``<L>`` dedupes), and ``Accepted`` keeps labels with at
+#: least two independent seeds (a monotone threshold over ``mcount``).  The
+#: EGD requires each node to have at most one seed label — the generator
+#: plants one ambiguous node.
+LABEL_PROPAGATION_PROGRAM = """
+@output("Support").
+@output("LabelCount").
+@output("Accepted").
+Edge(A, B) :- Link(A, B).
+Edge(B, A) :- Link(A, B).
+Seed(N, L) :- Predicted(N, L, C), C > 0.8.
+Influence(S, S, L) :- Seed(S, L).
+Influence(S, M, L) :- Influence(S, N, L), Edge(N, M).
+Support(N, L, V) :- Influence(S, N, L), V = mcount(S).
+LabelCount(N, K) :- Influence(S, N, L), K = mcount(L, <L>).
+Accepted(N, L) :- Influence(S, N, L), V = mcount(S), V >= 2.
+L1 = L2 :- Seed(N, L1), Seed(N, L2).
+"""
+
+LP_OUTPUTS: Tuple[str, ...] = ("Support", "LabelCount", "Accepted")
+
+_LABELS: Tuple[str, ...] = ("ham", "spam", "gray")
+
+
+def generate_lp_database(
+    n_nodes: int = 14, n_labels: int = 2, seed: int = 19
+) -> Database:
+    """Synthetic classifier outputs over a small community graph.
+
+    The graph is a ring of ``n_labels`` communities (cliques of
+    ``n_nodes // n_labels`` nodes bridged by single edges); each community
+    gets two or more high-confidence seeds of its own label plus
+    low-confidence noise predictions elsewhere.  One bridge node receives
+    two high-confidence labels — the seed-uniqueness EGD must flag it.
+    """
+    if n_nodes < 4:
+        raise ValueError(f"n_nodes must be >= 4, got {n_nodes}")
+    if not 1 <= n_labels <= len(_LABELS):
+        raise ValueError(
+            f"n_labels must be between 1 and {len(_LABELS)}, got {n_labels}"
+        )
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    community_size = max(2, n_nodes // n_labels)
+    communities: List[List[str]] = [
+        nodes[start : start + community_size]
+        for start in range(0, n_nodes, community_size)
+    ]
+    link_rows: List[Tuple[str, str]] = []
+    for community in communities:
+        for i in range(len(community) - 1):
+            link_rows.append((community[i], community[i + 1]))
+        if len(community) > 2:
+            link_rows.append((community[0], community[-1]))
+    for current, following in zip(communities, communities[1:]):
+        link_rows.append((current[-1], following[0]))
+    predicted_rows: List[Tuple[str, str, float]] = []
+    for index, community in enumerate(communities):
+        label = _LABELS[index % n_labels]
+        seeds = community[: max(2, len(community) // 2)]
+        for node in seeds:
+            predicted_rows.append((node, label, round(0.85 + rng.random() * 0.14, 2)))
+        for node in community[len(seeds) :]:
+            other = _LABELS[rng.randrange(n_labels)]
+            predicted_rows.append((node, other, round(0.2 + rng.random() * 0.5, 2)))
+    # One deliberately ambiguous node: two labels above the seed threshold.
+    ambiguous = communities[0][0]
+    conflicting = _LABELS[(1 if n_labels > 1 else 0)]
+    predicted_rows.append((ambiguous, conflicting + "_alt", 0.93))
+    database = Database()
+    database.add_tuples("Link", sorted(set(link_rows)))
+    database.add_tuples("Predicted", sorted(set(predicted_rows)))
+    return database
+
+
+# ---------------------------------------------------------------------------
+# Backend plumbing: memory / csv / sqlite through the @bind layer
+# ---------------------------------------------------------------------------
+
+BACKENDS: Tuple[str, ...] = ("memory", "csv", "sqlite")
+
+
+def _bound_scenario_parts(
+    database: Database,
+    data_dir: Union[str, Path, None],
+    program_text: str,
+    backend: str,
+    db_name: str,
+    outputs: Tuple[str, ...],
+) -> Tuple[Program, Database, str]:
+    """Export ``database`` and rewrite the program to ``@bind`` the backend.
+
+    Every extensional relation becomes an input binding and every ``@output``
+    predicate a writeback binding of the same kind, so answers land next to
+    the source data.  Returns the bound program, an **empty** database (the
+    facts now live in the files) and the reasoner's ``base_path``.
+    """
+    if data_dir is None:
+        raise ValueError(f"backend={backend!r} needs a data_dir to hold the data files")
+    directory = Path(data_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    binds: List[str] = []
+    if backend == "csv":
+        for name in sorted(database.relations()):
+            file_name = f"{name.lower()}.csv"
+            save_relation_csv(database.relation(name), directory / file_name)
+            binds.append(f'@bind("{name}", "csv", "{file_name}").\n')
+        for name in outputs:
+            binds.append(f'@bind("{name}", "csv", "{name.lower()}_out.csv").\n')
+    elif backend == "sqlite":
+        save_database_sqlite(database, directory / db_name)
+        for name in sorted(database.relations()):
+            binds.append(f'@bind("{name}", "sqlite", "{db_name}").\n')
+        for name in outputs:
+            binds.append(f'@bind("{name}", "sqlite", "{db_name}").\n')
+    else:  # pragma: no cover - callers validate first
+        raise ValueError(f"unsupported bound backend {backend!r}")
+    program = parse_program("".join(binds) + program_text)
+    return program, Database(), str(directory)
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(BACKENDS)}, got {backend!r}"
+        )
+
+
+def er_fusion_scenario(
+    n_records: int = 12,
+    n_models: int = 3,
+    seed: int = 11,
+    backend: str = "memory",
+    data_dir: Union[str, Path, None] = None,
+) -> Scenario:
+    """Entity-resolution score fusion over synthetic matcher outputs."""
+    _check_backend(backend)
+    database = generate_er_database(n_records=n_records, n_models=n_models, seed=seed)
+    params: Dict[str, object] = {
+        "records": n_records,
+        "models": n_models,
+        "scores": database.size("Score"),
+        "backend": backend,
+        "threshold": MATCH_THRESHOLD,
+    }
+    base_path: Optional[str] = None
+    if backend == "memory":
+        program = parse_program(ER_FUSION_PROGRAM)
+    else:
+        program, database, base_path = _bound_scenario_parts(
+            database, data_dir, ER_FUSION_PROGRAM, backend, "er_fusion.db", ER_OUTPUTS
+        )
+    suffix = "" if backend == "memory" else f"-{backend}"
+    return Scenario(
+        name=f"ds-er-fusion-{n_records}{suffix}",
+        program=program,
+        database=database,
+        outputs=ER_OUTPUTS,
+        description="Entity-resolution score fusion (aggregates + EGD + writeback)",
+        params=params,
+        base_path=base_path,
+    )
+
+
+def label_propagation_scenario(
+    n_nodes: int = 14,
+    n_labels: int = 2,
+    seed: int = 19,
+    backend: str = "memory",
+    data_dir: Union[str, Path, None] = None,
+) -> Scenario:
+    """Classification-label propagation over a community graph."""
+    _check_backend(backend)
+    database = generate_lp_database(n_nodes=n_nodes, n_labels=n_labels, seed=seed)
+    params: Dict[str, object] = {
+        "nodes": n_nodes,
+        "labels": n_labels,
+        "links": database.size("Link"),
+        "predictions": database.size("Predicted"),
+        "backend": backend,
+        "seed_confidence": SEED_CONFIDENCE,
+    }
+    base_path: Optional[str] = None
+    if backend == "memory":
+        program = parse_program(LABEL_PROPAGATION_PROGRAM)
+    else:
+        program, database, base_path = _bound_scenario_parts(
+            database,
+            data_dir,
+            LABEL_PROPAGATION_PROGRAM,
+            backend,
+            "label_prop.db",
+            LP_OUTPUTS,
+        )
+    suffix = "" if backend == "memory" else f"-{backend}"
+    return Scenario(
+        name=f"ds-label-prop-{n_nodes}{suffix}",
+        program=program,
+        database=database,
+        outputs=LP_OUTPUTS,
+        description="Classification-label propagation (aggregates + EGD + writeback)",
+        params=params,
+        base_path=base_path,
+    )

@@ -15,6 +15,7 @@ variations of the SynthB scenario of Section 6.1:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Tuple
 
 from ..core.atoms import Atom
@@ -26,19 +27,8 @@ from .scenario import Scenario
 
 
 def _base_synthb(facts_per_predicate: int = 40) -> Tuple[Program, Database]:
-    config = SCENARIO_CONFIGS["synthB"]
-    config = type(config)(
-        name=config.name,
-        linear_rules=config.linear_rules,
-        join_rules=config.join_rules,
-        linear_recursive=config.linear_recursive,
-        join_recursive=config.join_recursive,
-        existential_rules=config.existential_rules,
-        harmless_join_with_ward=config.harmless_join_with_ward,
-        harmless_join_without_ward=config.harmless_join_without_ward,
-        harmful_joins=config.harmful_joins,
-        facts_per_predicate=facts_per_predicate,
-        seed=config.seed,
+    config = dataclasses.replace(
+        SCENARIO_CONFIGS["synthB"], facts_per_predicate=facts_per_predicate
     )
     return generate_iwarded(config)
 

@@ -2,7 +2,7 @@
 
 Every executor suite (``test_compiled_executor``, ``test_streaming_differential``,
 ``test_parallel_executor``) and the magic-rewrite matrix
-(``test_magic_rewrite``) compares runs over the same **16 scenario
+(``test_magic_rewrite``) compares runs over the same **20 scenario
 registry** defined here, with the same three levels of agreement:
 
 * **ground-exact** — null-free facts/answers must be exactly equal (this is
@@ -43,15 +43,18 @@ from repro.workloads import (
     dbsize_scenario,
     doctors_fd_scenario,
     doctors_scenario,
+    er_fusion_scenario,
     ibench_scenario,
     iwarded_scenario,
+    label_propagation_scenario,
     lubm_scenario,
+    parametric_scenario,
     psc_scenario,
     rule_count_scenario,
     strong_links_scenario,
 )
 
-#: The 16 scenario factories shared by every executor differential.
+#: The 20 scenario factories shared by every executor differential.
 SCENARIOS = {
     "iwarded-synthA": lambda: iwarded_scenario("synthA", facts_per_predicate=4),
     "iwarded-synthB": lambda: iwarded_scenario("synthB", facts_per_predicate=4),
@@ -71,6 +74,18 @@ SCENARIOS = {
     "scaling-rules": lambda: rule_count_scenario(2, facts_per_predicate=5),
     "scaling-atoms": lambda: atom_count_scenario(4, facts_per_predicate=5),
     "scaling-arity": lambda: arity_scenario(5, facts_per_predicate=5),
+    # Scenario lab (PR 10): parametric iWarded grid points + the two
+    # reasoning-meets-ML workloads (aggregates + EGDs together).
+    "iwarded-parametric": lambda: parametric_scenario(facts_per_predicate=4),
+    "iwarded-parametric-deep": lambda: parametric_scenario(
+        recursion_depth=4,
+        existential_density=0.25,
+        arity=3,
+        join_fanin=3,
+        facts_per_predicate=3,
+    ),
+    "ds-er-fusion": lambda: er_fusion_scenario(),
+    "ds-label-prop": lambda: label_propagation_scenario(),
 }
 
 #: Recursive-existential scenarios where the streaming pipeline's
@@ -79,6 +94,8 @@ SCENARIOS = {
 ORDER_SENSITIVE_NULLS = {
     "iwarded-synthA",
     "iwarded-synthB",
+    "iwarded-parametric",
+    "iwarded-parametric-deep",
     "scaling-dbsize",
     "scaling-atoms",
 }

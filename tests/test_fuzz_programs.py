@@ -2,7 +2,8 @@
 
 The deterministic corpus lives in :mod:`repro.testing.fuzz` (shared with the
 translation-validation oracle and the ``tools/check_equiv.py`` CLI); this
-suite asserts over its ~100 cases:
+suite asserts over its ~100 random-family cases plus the 20 parametric
+iWarded grid points (indices >= ``GRID_BASE`` — see ``fuzz.GRID_KNOBS``):
 
 * **parse → unparse → parse round-trip** — ``unparse_program`` renders a
   program whose re-parse unparse-renders identically (a fixpoint), with the
@@ -41,6 +42,7 @@ from repro.testing.fuzz import (
     MASTER_SEED,
     N_CASES,
     generate_case,
+    grid_indices,
     point_query,
 )
 from repro.verify import oracle as verify_oracle
@@ -128,7 +130,7 @@ def _executor_diverges(executor, predicates):
     return diverges
 
 
-@pytest.mark.parametrize("index", range(N_CASES))
+@pytest.mark.parametrize("index", [*range(N_CASES), *grid_indices()])
 def test_fuzz_case(index):
     case = generate_case(index)
     program, database = case.program, case.database
@@ -190,7 +192,7 @@ def test_fuzz_case(index):
 
 
 @pytest.mark.parametrize("executor", ORDER_SENSITIVE_EXECUTORS)
-@pytest.mark.parametrize("index", range(0, N_CASES, 2))
+@pytest.mark.parametrize("index", [*range(0, N_CASES, 2), *grid_indices()[::2]])
 def test_fuzz_executor_matrix(index, executor):
     """Streaming/parallel answers agree with compiled on every other case.
 
@@ -221,7 +223,7 @@ def test_fuzz_executor_matrix(index, executor):
             )
 
 
-@pytest.mark.parametrize("index", range(25))
+@pytest.mark.parametrize("index", [*range(25), *grid_indices()])
 def test_fuzz_symbolic_oracle(index):
     """The bounded translation-validation oracle finds no magic divergence.
 

@@ -24,6 +24,25 @@ Usage::
     python tools/check_bench.py --trace-overhead --executor compiled streaming
     python tools/check_bench.py --service-throughput
     python tools/check_bench.py --service-throughput --update-baseline
+    python tools/check_bench.py --scaling-curves
+    python tools/check_bench.py --scaling-curves --update-baseline
+
+``--scaling-curves`` switches the gate to the scenario-lab sweep check:
+the smoke-scale knob grid of ``repro.workloads.sweep`` (every parametric
+iWarded axis — recursion depth, existential density, arity, join fan-in,
+fact-set size) is re-run on the committed sweep executors, every grid
+point answer-checked against the naive executor, and compared against the
+``scaling_curves`` entry of the baseline **per curve point** instead of
+per-scenario medians: (a) derived-fact and peak-resident-fact counts must
+match the baseline — exactly for the deterministic executors, within a
+small null-witness jitter tolerance for the order-sensitive ones (see
+``EXACT_FACT_EXECUTORS``); (b) no point's wall-clock may
+exceed its calibration-scaled baseline by more than ``--threshold`` (a
+*cliff* regression localised to one knob value trips the gate even when
+scenario medians elsewhere stay flat); (c) curves that are monotone by
+construction (fact-size, recursion-depth) must stay monotone in derived
+facts.  ``--executor`` does not apply — the gate always measures the
+committed smoke executor set so baselines stay comparable.
 
 ``--service-throughput`` switches the gate to the resident-reasoner service
 check: the smoke-scale mixed update/query workload is replayed ``--runs``
@@ -325,6 +344,211 @@ def gate_service_throughput(args) -> int:
     return 0
 
 
+#: Axes whose derived-fact curves are monotone non-decreasing by
+#: construction (more source facts / deeper recursion chains can only add
+#: derivations); the other axes trade rule shapes and may legitimately dip.
+MONOTONE_AXES = ("recursion-depth", "fact-size")
+
+#: Executors whose fact counts are bit-reproducible across processes.  The
+#: pull-based streaming (and sharded parallel) runtimes retain a
+#: hash-order-dependent *multiset* of homomorphically equivalent null
+#: witnesses — ``PYTHONHASHSEED`` moves the retained count by a few facts
+#: between processes — so their counts get a small jitter allowance; their
+#: answers are still checked against naive on every gate run regardless
+#: (ground exactly, null witnesses at pattern level).
+EXACT_FACT_EXECUTORS = ("naive", "compiled")
+
+#: Smoke grid points run in 0.02–0.2s, where scheduler noise easily
+#: exceeds the relative threshold; the scaling gate therefore uses a
+#: larger minimum absolute slack than the scenario gate before a point
+#: may fail on wall-clock alone (a genuine cliff — the arity-6 style
+#: blowup this gate exists for — is seconds, not fractions of one).
+SCALING_MIN_ABS_SLACK = 0.15
+
+
+def _fact_tolerance(executor: str, base_value: int) -> int:
+    """Allowed |measured - baseline| for a fact-count metric."""
+    if executor in EXACT_FACT_EXECUTORS:
+        return 0
+    return max(2, round(base_value * 0.01))
+
+
+def measure_scaling_curves(runs: int) -> dict:
+    """The smoke-scale knob-grid sweep, answer-checked per point."""
+    from repro.workloads import sweep as sweep_mod
+
+    return sweep_mod.run_sweep(smoke=True, answer_check=True, measure_runs=runs)
+
+
+def _flatten_curve_points(section: dict) -> dict:
+    """``(axis, value-as-string, executor) -> point row`` over all curves."""
+    points = {}
+    for axis, curve in section["axes"].items():
+        for point in curve["points"]:
+            points[(axis, str(point["value"]), point["executor"])] = point
+    return points
+
+
+def gate_scaling_curves(args) -> int:
+    """The scaling-curve gate (see module docstring)."""
+    print(f"calibrating ({args.runs} runs)...", flush=True)
+    calibration = calibrate(args.runs)
+    print(f"calibration: {calibration:.4f}s", flush=True)
+    print(
+        f"sweeping the smoke knob grid (median of {args.runs} per point, "
+        f"every point answer-checked against naive)...",
+        flush=True,
+    )
+    measured = measure_scaling_curves(args.runs)
+    points = _flatten_curve_points(measured)
+    unchecked = [key for key, point in points.items() if not point["answer_checked"]]
+    if unchecked:  # run_sweep raises on mismatch; this guards the wiring
+        print(
+            f"scaling gate FAILED: {len(unchecked)} curve point(s) were not "
+            f"answer-checked",
+            file=sys.stderr,
+        )
+        return 1
+    for axis, curve in measured["axes"].items():
+        for executor in measured["executors"]:
+            trail = " ".join(
+                f"{p['value']}:{p['elapsed_seconds']:.3f}s/{p['derived_facts']}f"
+                for p in curve["points"]
+                if p["executor"] == executor
+            )
+            print(f"   {axis} [{executor}]: {trail}", flush=True)
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        merged = {"scenarios": {}}
+        if baseline_path.exists():
+            merged = json.loads(baseline_path.read_text())
+        merged["scaling_curves"] = {
+            "executors": measured["executors"],
+            "answer_reference": measured["answer_reference"],
+            # Like the service entry, the sweep carries its own calibration
+            # so partial baseline updates never skew the other entries.
+            "calibration_seconds": round(calibration, 4),
+            "python": platform.python_version(),
+            "runs": args.runs,
+            "points": [
+                {
+                    "axis": axis,
+                    "value": point["value"],
+                    "executor": executor,
+                    "elapsed_seconds": point["elapsed_seconds"],
+                    "derived_facts": point["derived_facts"],
+                    "peak_resident_facts": point["peak_resident_facts"],
+                }
+                for (axis, _value, executor), point in sorted(points.items())
+            ],
+        }
+        baseline_path.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"baseline updated: {baseline_path} [scaling_curves]")
+        return 0
+
+    if not baseline_path.exists():
+        print(
+            f"baseline {baseline_path} does not exist; run with "
+            f"--scaling-curves --update-baseline to create it",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline.get("scaling_curves")
+    if not entry:
+        print(
+            "baseline has no scaling_curves entry; run with "
+            "--scaling-curves --update-baseline to add it",
+            file=sys.stderr,
+        )
+        return 2
+    scale = calibration / entry["calibration_seconds"]
+    print(
+        f"machine speed vs baseline machine: {1 / scale:.2f}x "
+        f"(calibration {calibration:.4f}s vs {entry['calibration_seconds']:.4f}s)"
+    )
+    factor = args.inject_slowdown or 1.0
+    if factor != 1.0:
+        print(f"!! self-test: injecting a {factor}x slowdown into the curve points")
+
+    failures = []
+    checked = 0
+    baseline_points = {
+        (row["axis"], str(row["value"]), row["executor"]): row
+        for row in entry["points"]
+    }
+    for key, base in sorted(baseline_points.items()):
+        axis, value, executor = key
+        point = points.get(key)
+        if point is None:
+            failures.append(
+                f"{axis}={value} [{executor}]: baseline curve point was not "
+                f"measured (grid drifted?)"
+            )
+            continue
+        checked += 1
+        # (a) fact counts: exact for the deterministic executors, within
+        # the witness-jitter tolerance for the order-sensitive ones (see
+        # EXACT_FACT_EXECUTORS) — real drift is a logic change, not noise.
+        for metric in ("derived_facts", "peak_resident_facts"):
+            tolerance = _fact_tolerance(executor, base[metric])
+            if abs(point[metric] - base[metric]) > tolerance:
+                failures.append(
+                    f"{axis}={value} [{executor}]: {metric} "
+                    f"{point[metric]} != baseline {base[metric]} "
+                    f"(tolerance {tolerance})"
+                )
+        # (b) per-point wall-clock cliff check against the scaled baseline.
+        median = point["elapsed_seconds"] * factor
+        expected = base["elapsed_seconds"] * scale
+        allowed = expected * args.threshold
+        min_slack = max(args.min_abs_slack, SCALING_MIN_ABS_SLACK)
+        status = "ok"
+        if median > allowed and (median - expected) > min_slack:
+            status = "CLIFF"
+            failures.append(
+                f"{axis}={value} [{executor}]: {median:.4f}s > allowed "
+                f"{allowed:.4f}s ({median / expected:.2f}x the scaled baseline)"
+            )
+        print(
+            f"   {axis}={value} [{executor}]: {median:.4f}s vs expected "
+            f"{expected:.4f}s (allowed {allowed:.4f}s) {status}"
+        )
+    # (c) monotone-sanity on the curves that are monotone by construction.
+    for axis in MONOTONE_AXES:
+        curve = measured["axes"].get(axis)
+        if not curve:
+            continue
+        for executor in measured["executors"]:
+            series = [
+                (point["value"], point["derived_facts"])
+                for point in curve["points"]
+                if point["executor"] == executor
+            ]
+            derived = [d for _v, d in series]
+            slack = _fact_tolerance(executor, max(derived, default=0))
+            if any(b < a - slack for a, b in zip(derived, derived[1:])):
+                failures.append(
+                    f"{axis} [{executor}]: derived-fact curve is not "
+                    f"monotone: {series}"
+                )
+
+    if failures:
+        print(
+            f"\nscaling gate FAILED: {len(failures)} violation(s):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\nscaling gate OK: {checked} curve points within budget, fact "
+        f"counts within tolerance, monotone axes monotone"
+    )
+    return 0
+
+
 def measure(executors, runs: int, only=None) -> dict:
     """Median-of-``runs`` smoke elapsed per (scenario, executor)."""
     scenarios = {}
@@ -407,6 +631,16 @@ def main(argv=None) -> int:
             "workload vs the committed baseline, plus the 2x speedup target"
         ),
     )
+    parser.add_argument(
+        "--scaling-curves",
+        action="store_true",
+        help=(
+            "gate the scenario-lab knob-grid sweep instead of the scenario "
+            "medians: per-curve-point wall-clock cliffs, exact fact counts "
+            "and monotone-sanity vs the committed smoke curves "
+            "(--executor does not apply; the committed sweep executors run)"
+        ),
+    )
     parser.add_argument("--only", nargs="*", default=None)
     args = parser.parse_args(argv)
 
@@ -415,6 +649,8 @@ def main(argv=None) -> int:
         return gate_trace_overhead(args, executors)
     if args.service_throughput:
         return gate_service_throughput(args)
+    if args.scaling_curves:
+        return gate_scaling_curves(args)
     print(f"calibrating ({args.runs} runs)...", flush=True)
     calibration = calibrate(args.runs)
     print(f"calibration: {calibration:.4f}s", flush=True)
